@@ -1,0 +1,36 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build vet test race bench experiments quick clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/core/ .
+
+# One benchmark per table, figure and ablation of the paper.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# The complete evaluation at the paper's methodology (tens of minutes);
+# results land in experiments_full.txt and results/.
+experiments:
+	mkdir -p results
+	$(GO) run ./cmd/experiments -ablations -csvdir results | tee experiments_full.txt
+
+# A coarse preview of the same (~5 minutes).
+quick:
+	$(GO) run ./cmd/experiments -quick
+
+clean:
+	rm -rf results experiments_full.txt test_output.txt bench_output.txt

@@ -1,0 +1,49 @@
+// Command costmodel regenerates the paper's Tables 1 and 2: the Chien
+// cost-model delays of the cube and fat-tree router implementations, in
+// nanoseconds.
+//
+// Usage:
+//
+//	costmodel [-k radix] [-maxvc n]
+//
+// Without flags it prints the paper's exact tables (a quaternary tree and
+// a bidimensional cube with four virtual channels). -maxvc extends Table 2
+// with more virtual-channel variants, illustrating where the routing delay
+// overtakes the wire delay.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"smart/internal/cost"
+	"smart/internal/results"
+)
+
+func main() {
+	k := flag.Int("k", 4, "fat-tree radix for Table 2")
+	maxVC := flag.Int("maxvc", 4, "largest virtual-channel count for Table 2 (powers of two from 1)")
+	flag.Parse()
+	if *k < 2 || *maxVC < 1 {
+		fmt.Fprintln(os.Stderr, "costmodel: -k must be >= 2 and -maxvc >= 1")
+		os.Exit(2)
+	}
+
+	fmt.Println("Table 1: delays of the two routing algorithms for the 16-ary 2-cube (ns)")
+	fmt.Println()
+	fmt.Print(results.FormatTimings(cost.Table1()))
+	fmt.Println()
+
+	fmt.Printf("Table 2: delays of the adaptive algorithm variants for the %d-ary n-tree (ns)\n", *k)
+	fmt.Println()
+	var rows []cost.Timing
+	for v := 1; v <= *maxVC; v *= 2 {
+		rows = append(rows, cost.TreeAdaptive(*k, v))
+	}
+	fmt.Print(results.FormatTimings(rows))
+	fmt.Println()
+	fmt.Println("The clock cycle of each implementation is the maximum of its three")
+	fmt.Println("delays; the simulator equalizes the three stages to one cycle and")
+	fmt.Println("recovers absolute time through these figures.")
+}

@@ -1,0 +1,125 @@
+// Command sweep reproduces the per-network figures of the paper (Figures
+// 5 and 6): it sweeps the offered bandwidth for one network/algorithm
+// configuration and traffic pattern and prints the Chaos Normal Form
+// series — accepted bandwidth and network latency versus offered
+// bandwidth, normalized to the uniform-traffic capacity — plus the
+// saturation point.
+//
+// Examples:
+//
+//	sweep -net tree -vcs 1 -pattern uniform          # one curve of Fig 5a
+//	sweep -net cube -alg duato -pattern transpose    # one curve of Fig 6e
+//	sweep -net tree -vcs 4 -pattern bitrev -csv out.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"smart/internal/core"
+	"smart/internal/plot"
+	"smart/internal/results"
+)
+
+func main() {
+	var cfg core.Config
+	var network, alg, csvPath string
+	var step float64
+	var quick bool
+	flag.StringVar(&network, "net", "tree", "network family: tree or cube")
+	flag.IntVar(&cfg.K, "k", 0, "radix")
+	flag.IntVar(&cfg.N, "n", 0, "dimension/levels")
+	flag.StringVar(&alg, "alg", "", "routing algorithm")
+	flag.IntVar(&cfg.VCs, "vcs", 0, "virtual channels")
+	flag.StringVar(&cfg.Pattern, "pattern", "uniform", "traffic pattern")
+	flag.Uint64Var(&cfg.Seed, "seed", 1, "random seed")
+	flag.Int64Var(&cfg.Warmup, "warmup", 0, "warm-up cycles (default 2000)")
+	flag.Int64Var(&cfg.Horizon, "horizon", 0, "horizon cycles (default 20000)")
+	flag.Float64Var(&step, "step", 0.05, "offered-load step (fractions of capacity)")
+	flag.BoolVar(&quick, "quick", false, "coarse grid and short horizon for a fast preview")
+	flag.StringVar(&csvPath, "csv", "", "also write the series as CSV to this file")
+	showPlot := flag.Bool("plot", false, "render the two CNF graphs as ASCII charts")
+	flag.Parse()
+	cfg.Network = core.NetworkKind(network)
+	cfg.Algorithm = alg
+	if quick {
+		step = 0.1
+		if cfg.Warmup == 0 {
+			cfg.Warmup = 1000
+		}
+		if cfg.Horizon == 0 {
+			cfg.Horizon = 8000
+		}
+	}
+
+	var loads []float64
+	for l := step; l <= 1.0001; l += step {
+		loads = append(loads, l)
+	}
+	swept, err := core.Sweep(cfg, loads, runtime.GOMAXPROCS(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+
+	full := swept[0].Config
+	fmt.Printf("%s, %s traffic — Chaos Normal Form (both axes normalized to capacity)\n\n", full.Label(), full.Pattern)
+	headers, rows := results.CNFRows(swept)
+	fmt.Print(results.FormatTable(headers, rows))
+
+	if *showPlot {
+		xs := make([]float64, len(swept))
+		accepted := make([]float64, len(swept))
+		latency := make([]float64, len(swept))
+		for i, r := range swept {
+			xs[i] = r.Sample.Offered
+			accepted[i] = r.Sample.Accepted
+			latency[i] = r.Sample.AvgLatency
+		}
+		for _, ch := range []plot.Chart{
+			{Title: "accepted vs offered bandwidth", XLabel: "offered (fraction of capacity)",
+				YLabel: "accepted (fraction of capacity)", Width: 60, Height: 14,
+				Series: []plot.Series{{Name: full.Label(), X: xs, Y: accepted}}},
+			{Title: "network latency vs offered bandwidth", XLabel: "offered (fraction of capacity)",
+				YLabel: "latency (cycles)", Width: 60, Height: 14,
+				Series: []plot.Series{{Name: full.Label(), X: xs, Y: latency}}},
+		} {
+			rendered, err := ch.Render()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sweep:", err)
+				os.Exit(1)
+			}
+			fmt.Println()
+			fmt.Print(rendered)
+		}
+	}
+
+	series := core.SeriesOf(swept)
+	sat, saturated := series.Saturation(0.02)
+	fmt.Println()
+	if saturated {
+		fmt.Printf("saturation at %.0f%% of capacity", 100*sat)
+		if stability, ok := series.PostSaturationStability(0.02); ok {
+			fmt.Printf("; post-saturation throughput stability %.2f (1.00 = flat)", stability)
+		}
+		fmt.Println()
+	} else {
+		fmt.Printf("no saturation up to %.0f%% of capacity\n", 100*sat)
+	}
+
+	if csvPath != "" {
+		f, err := os.Create(csvPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := results.WriteCSV(f, headers, rows); err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("series written to %s\n", csvPath)
+	}
+}

@@ -1,0 +1,3 @@
+module smart
+
+go 1.22

@@ -1,0 +1,171 @@
+// Package chanstats aggregates the fabric's per-link flit counters into
+// the channel-utilization views the paper reasons with: per-level
+// ascending/descending utilization on the k-ary n-tree (where descending
+// congestion limits throughput, §8) and per-dimension/direction
+// utilization on the k-ary n-cube (where patterns like the complement
+// concentrate traffic on the bisection, §9). Utilization is the fraction
+// of cycles a channel class transmitted a flit, averaged over its
+// channels — 1.0 means every link of the class was busy every cycle.
+package chanstats
+
+import (
+	"fmt"
+
+	"smart/internal/topology"
+	"smart/internal/wormhole"
+)
+
+// LevelStats is the tree view: one row per switch level.
+type LevelStats struct {
+	Level int
+	// Up is the mean utilization of the ascending channels leaving the
+	// level (toward the roots); Down of the descending channels leaving
+	// it (toward the processors, including ejection links at level 0).
+	Up, Down float64
+}
+
+// TreeLevels aggregates a tree fabric's counters over the given number of
+// observed cycles.
+func TreeLevels(f *wormhole.Fabric, t *topology.Tree, cycles int64) ([]LevelStats, error) {
+	if cycles <= 0 {
+		return nil, fmt.Errorf("chanstats: non-positive observation window %d", cycles)
+	}
+	if f.Top != topology.Topology(t) {
+		return nil, fmt.Errorf("chanstats: fabric is not built on the given tree")
+	}
+	stats := make([]LevelStats, t.N)
+	upLinks := make([]int64, t.N)
+	downLinks := make([]int64, t.N)
+	upFlits := make([]int64, t.N)
+	downFlits := make([]int64, t.N)
+	for sw := 0; sw < t.Routers(); sw++ {
+		level := t.SwitchLevel(sw)
+		ports := t.RouterPorts(sw)
+		for p, port := range ports {
+			if port.Kind == topology.PortUnused {
+				continue
+			}
+			if t.IsUpPort(p) {
+				upLinks[level]++
+				upFlits[level] += f.LinkFlits(sw, p)
+			} else {
+				downLinks[level]++
+				downFlits[level] += f.LinkFlits(sw, p)
+			}
+		}
+	}
+	for l := 0; l < t.N; l++ {
+		stats[l].Level = l
+		if upLinks[l] > 0 {
+			stats[l].Up = float64(upFlits[l]) / float64(upLinks[l]) / float64(cycles)
+		}
+		if downLinks[l] > 0 {
+			stats[l].Down = float64(downFlits[l]) / float64(downLinks[l]) / float64(cycles)
+		}
+	}
+	return stats, nil
+}
+
+// DimStats is the cube view: one row per dimension.
+type DimStats struct {
+	Dim int
+	// Plus and Minus are the mean utilizations of the two directions.
+	Plus, Minus float64
+}
+
+// CubeDims aggregates a cube (or mesh) fabric's counters.
+func CubeDims(f *wormhole.Fabric, c *topology.Cube, cycles int64) ([]DimStats, error) {
+	if cycles <= 0 {
+		return nil, fmt.Errorf("chanstats: non-positive observation window %d", cycles)
+	}
+	if f.Top != topology.Topology(c) {
+		return nil, fmt.Errorf("chanstats: fabric is not built on the given cube")
+	}
+	stats := make([]DimStats, c.N)
+	links := make([][2]int64, c.N)
+	flits := make([][2]int64, c.N)
+	for r := 0; r < c.Routers(); r++ {
+		ports := c.RouterPorts(r)
+		for d := 0; d < c.N; d++ {
+			for _, dir := range []int{topology.Plus, topology.Minus} {
+				p := topology.PortOf(d, dir)
+				if ports[p].Kind == topology.PortUnused {
+					continue
+				}
+				links[d][dir]++
+				flits[d][dir] += f.LinkFlits(r, p)
+			}
+		}
+	}
+	for d := 0; d < c.N; d++ {
+		stats[d].Dim = d
+		if links[d][topology.Plus] > 0 {
+			stats[d].Plus = float64(flits[d][topology.Plus]) / float64(links[d][topology.Plus]) / float64(cycles)
+		}
+		if links[d][topology.Minus] > 0 {
+			stats[d].Minus = float64(flits[d][topology.Minus]) / float64(links[d][topology.Minus]) / float64(cycles)
+		}
+	}
+	return stats, nil
+}
+
+// CubeRouterGrid returns, for a 2-dimensional cube or mesh, the total
+// channel utilization of every router (the sum over its outgoing
+// neighbour channels, normalized per channel) arranged as a
+// [row][column] grid — the spatial congestion picture of §9.
+func CubeRouterGrid(f *wormhole.Fabric, c *topology.Cube, cycles int64) ([][]float64, error) {
+	if cycles <= 0 {
+		return nil, fmt.Errorf("chanstats: non-positive observation window %d", cycles)
+	}
+	if c.N != 2 {
+		return nil, fmt.Errorf("chanstats: router grid requires a 2-dimensional cube, got n=%d", c.N)
+	}
+	if f.Top != topology.Topology(c) {
+		return nil, fmt.Errorf("chanstats: fabric is not built on the given cube")
+	}
+	grid := make([][]float64, c.K)
+	for row := range grid {
+		grid[row] = make([]float64, c.K)
+		for col := range grid[row] {
+			r := c.WithDigit(c.WithDigit(0, 1, row), 0, col)
+			ports := c.RouterPorts(r)
+			var flits, links int64
+			for d := 0; d < c.N; d++ {
+				for _, dir := range []int{topology.Plus, topology.Minus} {
+					p := topology.PortOf(d, dir)
+					if ports[p].Kind == topology.PortUnused {
+						continue
+					}
+					links++
+					flits += f.LinkFlits(r, p)
+				}
+			}
+			if links > 0 {
+				grid[row][col] = float64(flits) / float64(links) / float64(cycles)
+			}
+		}
+	}
+	return grid, nil
+}
+
+// Ejection returns the mean utilization of the router-to-node channels —
+// the delivery pressure at the destinations.
+func Ejection(f *wormhole.Fabric, cycles int64) (float64, error) {
+	if cycles <= 0 {
+		return 0, fmt.Errorf("chanstats: non-positive observation window %d", cycles)
+	}
+	var links, flits int64
+	top := f.Top
+	for r := 0; r < top.Routers(); r++ {
+		for p, port := range top.RouterPorts(r) {
+			if port.Kind == topology.PortNode {
+				links++
+				flits += f.LinkFlits(r, p)
+			}
+		}
+	}
+	if links == 0 {
+		return 0, fmt.Errorf("chanstats: topology has no node ports")
+	}
+	return float64(flits) / float64(links) / float64(cycles), nil
+}

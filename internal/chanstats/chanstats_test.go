@@ -1,0 +1,256 @@
+package chanstats
+
+import (
+	"math"
+	"testing"
+
+	"smart/internal/routing"
+	"smart/internal/sim"
+	"smart/internal/topology"
+	"smart/internal/traffic"
+	"smart/internal/wormhole"
+)
+
+// runTree simulates a 16-node tree under the given pattern and returns
+// the fabric plus the measured cycle count.
+func runTree(t *testing.T, pattern traffic.Pattern, rate float64, cycles int64) (*wormhole.Fabric, *topology.Tree) {
+	t.Helper()
+	tree, err := topology.NewTree(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg, err := routing.NewTreeAdaptive(tree, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := wormhole.NewFabric(tree, wormhole.Config{VCs: 2, BufDepth: 4, PacketFlits: 8, InjLanes: 1}, alg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj, err := traffic.NewInjector(f, pattern, rate, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := sim.NewEngine()
+	inj.Register(e)
+	f.Register(e)
+	e.Run(cycles)
+	return f, tree
+}
+
+func TestTreeLevelsComplementLoadsAllLevels(t *testing.T) {
+	pattern, _ := traffic.NewComplement(16)
+	f, tree := runTree(t, pattern, 0.05, 4000)
+	stats, err := TreeLevels(f, tree, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 2 {
+		t.Fatalf("%d levels", len(stats))
+	}
+	// Complement traffic ascends to the top level, so the ascending
+	// channels of every level below the roots carry load, the descending
+	// channels of every level carry load, and the roots' external up
+	// ports stay silent.
+	for _, s := range stats {
+		if s.Down <= 0.05 {
+			t.Fatalf("level %d under complement: down %.3f", s.Level, s.Down)
+		}
+		if s.Level < len(stats)-1 && s.Up <= 0.05 {
+			t.Fatalf("level %d under complement: up %.3f", s.Level, s.Up)
+		}
+	}
+	if top := stats[len(stats)-1]; top.Up != 0 {
+		t.Fatalf("root level external ports carried traffic: %+v", top)
+	}
+	// Utilization is a fraction of cycles.
+	for _, s := range stats {
+		if s.Up > 1 || s.Down > 1 || s.Up < 0 || s.Down < 0 {
+			t.Fatalf("utilization out of range: %+v", s)
+		}
+	}
+}
+
+func TestTreeLevelsLocalTrafficStaysLow(t *testing.T) {
+	// Destinations sharing the level-0 switch (same label) never ascend
+	// past level 0, so level-1 channels stay idle.
+	local := localPattern{}
+	f, tree := runTree(t, local, 0.05, 4000)
+	stats, err := TreeLevels(f, tree, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats[0].Down == 0 {
+		t.Fatal("no delivery traffic at level 0")
+	}
+	if stats[1].Up != 0 || stats[1].Down != 0 {
+		t.Fatalf("local traffic leaked to level 1: %+v", stats[1])
+	}
+	if stats[0].Up != 0 {
+		t.Fatalf("local traffic ascended: %+v", stats[0])
+	}
+}
+
+// localPattern sends to the next sibling on the same level-0 switch.
+type localPattern struct{}
+
+func (localPattern) Name() string { return "local" }
+func (localPattern) Dest(src int, _ *sim.RNG) int {
+	return src/4*4 + (src+1)%4
+}
+
+func TestCubeDimsNeighborTrafficIsDirectional(t *testing.T) {
+	cube, err := topology.NewCube(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg := routing.NewDuato(cube)
+	f, err := wormhole.NewFabric(cube, wormhole.Config{VCs: 4, BufDepth: 4, PacketFlits: 8, InjLanes: 1}, alg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// +1 in dimension 0 only: all network traffic rides dim-0 Plus.
+	pattern := plusOne{k: 4}
+	inj, err := traffic.NewInjector(f, pattern, 0.05, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := sim.NewEngine()
+	inj.Register(e)
+	f.Register(e)
+	e.Run(4000)
+	stats, err := CubeDims(f, cube, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats[0].Plus <= 0 {
+		t.Fatal("dim-0 Plus unused under +1 traffic")
+	}
+	if stats[0].Minus != 0 || stats[1].Plus != 0 || stats[1].Minus != 0 {
+		t.Fatalf("traffic leaked off the dim-0 Plus channels: %+v", stats)
+	}
+}
+
+// plusOne sends to the next node along dimension 0 (with wrap).
+type plusOne struct{ k int }
+
+func (plusOne) Name() string { return "plusone" }
+func (p plusOne) Dest(src int, _ *sim.RNG) int {
+	return src/p.k*p.k + (src+1)%p.k
+}
+
+func TestEjectionUtilizationMatchesDelivery(t *testing.T) {
+	pattern, _ := traffic.NewComplement(16)
+	f, _ := runTree(t, pattern, 0.05, 4000)
+	util, err := Ejection(f, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(f.Counters().FlitsDelivered) / 16 / 4000
+	if math.Abs(util-want) > 1e-12 {
+		t.Fatalf("ejection utilization %v, want %v from delivered flits", util, want)
+	}
+}
+
+func TestResetLinkStats(t *testing.T) {
+	pattern, _ := traffic.NewComplement(16)
+	f, tree := runTree(t, pattern, 0.05, 2000)
+	f.ResetLinkStats()
+	stats, err := TreeLevels(f, tree, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range stats {
+		if s.Up != 0 || s.Down != 0 {
+			t.Fatalf("counters survived reset: %+v", s)
+		}
+	}
+}
+
+func TestCubeRouterGridDiagonalUnderTranspose(t *testing.T) {
+	cube, err := topology.NewCube(8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg := routing.NewDOR(cube)
+	f, err := wormhole.NewFabric(cube, wormhole.Config{VCs: 4, BufDepth: 4, PacketFlits: 8, InjLanes: 1}, alg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pattern, err := traffic.NewTranspose(cube.Nodes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj, err := traffic.NewInjector(f, pattern, 0.03, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := sim.NewEngine()
+	inj.Register(e)
+	f.Register(e)
+	e.Run(6000)
+	grid, err := CubeRouterGrid(f, cube, 6000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grid) != 8 || len(grid[0]) != 8 {
+		t.Fatalf("grid shape %dx%d", len(grid), len(grid[0]))
+	}
+	// The paper's §9: transpose reflects across the diagonal, loading it
+	// more than the rest of the torus. Compare the mean utilization on
+	// and off the diagonal band.
+	var diag, off float64
+	var nd, no int
+	for row := range grid {
+		for col := range grid[row] {
+			d := row - col
+			if d < 0 {
+				d = -d
+			}
+			if d <= 1 || d >= 7 { // the band around the main diagonal (torus-wrapped)
+				diag += grid[row][col]
+				nd++
+			} else {
+				off += grid[row][col]
+				no++
+			}
+		}
+	}
+	if diag/float64(nd) <= off/float64(no) {
+		t.Fatalf("diagonal band (%.4f) not hotter than the rest (%.4f)", diag/float64(nd), off/float64(no))
+	}
+}
+
+func TestCubeRouterGridErrors(t *testing.T) {
+	cube3, _ := topology.NewCube(4, 3)
+	alg := routing.NewDuato(cube3)
+	f, err := wormhole.NewFabric(cube3, wormhole.Config{VCs: 4, BufDepth: 4, PacketFlits: 4, InjLanes: 1}, alg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CubeRouterGrid(f, cube3, 100); err == nil {
+		t.Error("3-dimensional grid accepted")
+	}
+	if _, err := CubeRouterGrid(f, cube3, 0); err == nil {
+		t.Error("zero window accepted")
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	pattern, _ := traffic.NewComplement(16)
+	f, tree := runTree(t, pattern, 0.05, 100)
+	if _, err := TreeLevels(f, tree, 0); err == nil {
+		t.Error("zero window accepted")
+	}
+	otherTree, _ := topology.NewTree(4, 2)
+	if _, err := TreeLevels(f, otherTree, 100); err == nil {
+		t.Error("foreign tree accepted")
+	}
+	cube, _ := topology.NewCube(4, 2)
+	if _, err := CubeDims(f, cube, 100); err == nil {
+		t.Error("foreign cube accepted")
+	}
+	if _, err := Ejection(f, 0); err == nil {
+		t.Error("zero window accepted for ejection")
+	}
+}

@@ -1,0 +1,273 @@
+// Package core is the experiment layer of the reproduction: it assembles
+// a topology, routing algorithm, wormhole fabric, traffic process and
+// measurement window from a declarative Config, runs the simulation with
+// the paper's methodology (2000-cycle warm-up, 20000-cycle horizon), and
+// sweeps offered loads to produce the Chaos Normal Form series of
+// Figures 5 and 6 and the absolute-unit comparison of Figure 7.
+package core
+
+import (
+	"fmt"
+
+	"smart/internal/cost"
+	"smart/internal/phys"
+	"smart/internal/routing"
+	"smart/internal/topology"
+	"smart/internal/traffic"
+	"smart/internal/wormhole"
+)
+
+// NetworkKind selects the topology family.
+type NetworkKind string
+
+// The two families the paper compares, plus the mesh (the cube without
+// wrap-around links), which the ablation harness uses for the classic
+// torus-versus-mesh comparison.
+const (
+	NetworkTree NetworkKind = "tree"
+	NetworkCube NetworkKind = "cube"
+	NetworkMesh NetworkKind = "mesh"
+)
+
+// Algorithm names accepted by Config.
+const (
+	AlgAdaptive      = "adaptive"      // fat-tree minimal adaptive (§2)
+	AlgDeterministic = "deterministic" // cube dimension-order (§3)
+	AlgDuato         = "duato"         // cube minimal adaptive with escapes (§3)
+)
+
+// Pattern names accepted by Config.
+const (
+	PatternUniform    = "uniform"
+	PatternComplement = "complement"
+	PatternBitRev     = "bitrev"
+	PatternTranspose  = "transpose"
+	PatternTornado    = "tornado"
+	PatternShuffle    = "shuffle"
+	PatternNeighbor   = "neighbor"
+	PatternHotspot    = "hotspot"
+)
+
+// Config declares one simulation. Zero fields take the paper's defaults
+// via WithDefaults.
+type Config struct {
+	// Network selects the family; K and N are the radix and dimension
+	// (4-ary 4-tree and 16-ary 2-cube by default, the paper's matched
+	// 256-node pair).
+	Network NetworkKind
+	K, N    int
+	// Algorithm is the routing discipline; VCs the virtual channels per
+	// link. The cube disciplines require 4 VCs; the tree algorithm
+	// accepts any positive count (the paper uses 1, 2 and 4).
+	Algorithm string
+	VCs       int
+	// BufDepth is the lane buffer capacity in flits (4 in the paper).
+	BufDepth int
+	// PacketBytes is the packet size (64 in the paper); the flit width is
+	// fixed per family by the pin-count normalization.
+	PacketBytes int
+	// Pattern names the traffic benchmark; Load is the offered bandwidth
+	// as a fraction of the uniform-traffic capacity.
+	Pattern string
+	Load    float64
+	// HotspotFraction applies to the hotspot pattern only.
+	HotspotFraction float64
+	// Seed drives all random streams; equal seeds give bit-identical
+	// results.
+	Seed uint64
+	// Warmup and Horizon delimit the measurement window in cycles.
+	Warmup, Horizon int64
+	// InjLanes is the number of injection streams per node (1 in the
+	// paper: source throttling). The ablation harness raises it.
+	InjLanes int
+	// WatchdogCycles enables the fabric's deadlock detector when
+	// positive.
+	WatchdogCycles int64
+	// StoreAndForward switches the fabric from wormhole to
+	// store-and-forward switching (requires BufDepth >= packet flits);
+	// virtual cut-through is wormhole with BufDepth >= packet flits.
+	// Both are ablations, not paper configurations.
+	StoreAndForward bool
+	// RouteEvery stretches the routing stage to one header per switch
+	// every RouteEvery cycles (default 1) — the de-equalized-pipeline
+	// ablation.
+	RouteEvery int
+	// TreeAscent selects the fat-tree ascending-phase policy:
+	// "least-loaded" (the paper's), "round-robin" or "digit-aligned".
+	TreeAscent string
+	// LinkCycles sets the flit flight time across physical links
+	// (default 1). Values above one model pipelined long wires — the
+	// alternative to folding the wire delay into a stretched clock.
+	LinkCycles int
+}
+
+// Paper-default methodology constants.
+const (
+	DefaultWarmup  = 2000
+	DefaultHorizon = 20000
+)
+
+// WithDefaults fills the zero fields with the paper's parameters.
+func (c Config) WithDefaults() Config {
+	if c.Network == "" {
+		c.Network = NetworkTree
+	}
+	if c.K == 0 && c.N == 0 {
+		if c.Network == NetworkTree {
+			c.K, c.N = 4, 4
+		} else {
+			c.K, c.N = 16, 2
+		}
+	}
+	if c.Algorithm == "" {
+		if c.Network == NetworkTree {
+			c.Algorithm = AlgAdaptive
+		} else {
+			c.Algorithm = AlgDuato
+		}
+	}
+	if c.VCs == 0 {
+		c.VCs = 4
+	}
+	if c.BufDepth == 0 {
+		c.BufDepth = 4
+	}
+	if c.PacketBytes == 0 {
+		c.PacketBytes = phys.PacketBytes
+	}
+	if c.Pattern == "" {
+		c.Pattern = PatternUniform
+	}
+	if c.HotspotFraction == 0 {
+		c.HotspotFraction = 0.05
+	}
+	if c.Warmup == 0 {
+		c.Warmup = DefaultWarmup
+	}
+	if c.Horizon == 0 {
+		c.Horizon = DefaultHorizon
+	}
+	if c.InjLanes == 0 {
+		c.InjLanes = 1
+	}
+	return c
+}
+
+// Label returns a compact identifier for result tables, e.g.
+// "tree adaptive-2vc" or "cube deterministic".
+func (c Config) Label() string {
+	if c.Network == NetworkTree {
+		return fmt.Sprintf("tree %s-%dvc", c.Algorithm, c.VCs)
+	}
+	return fmt.Sprintf("%s %s", c.Network, c.Algorithm)
+}
+
+// buildTopology constructs the configured topology.
+func (c Config) buildTopology() (topology.Topology, error) {
+	switch c.Network {
+	case NetworkTree:
+		return topology.NewTree(c.K, c.N)
+	case NetworkCube:
+		return topology.NewCube(c.K, c.N)
+	case NetworkMesh:
+		return topology.NewMesh(c.K, c.N)
+	default:
+		return nil, fmt.Errorf("core: unknown network kind %q", c.Network)
+	}
+}
+
+// buildAlgorithm constructs the routing discipline for the topology.
+func (c Config) buildAlgorithm(top topology.Topology) (wormhole.RoutingAlgorithm, error) {
+	switch t := top.(type) {
+	case *topology.Tree:
+		if c.Algorithm != AlgAdaptive {
+			return nil, fmt.Errorf("core: algorithm %q is not defined on the tree (want %q)", c.Algorithm, AlgAdaptive)
+		}
+		switch c.TreeAscent {
+		case "", "least-loaded":
+			return routing.NewTreeAdaptive(t, c.VCs)
+		case "round-robin":
+			return routing.NewTreeAdaptivePolicy(t, c.VCs, routing.RoundRobin)
+		case "digit-aligned":
+			return routing.NewTreeAdaptivePolicy(t, c.VCs, routing.DigitAligned)
+		default:
+			return nil, fmt.Errorf("core: unknown tree ascent policy %q", c.TreeAscent)
+		}
+	case *topology.Cube:
+		if c.VCs != 4 {
+			return nil, fmt.Errorf("core: the cube disciplines use 4 virtual channels, got %d", c.VCs)
+		}
+		switch c.Algorithm {
+		case AlgDeterministic:
+			return routing.NewDOR(t), nil
+		case AlgDuato:
+			return routing.NewDuato(t), nil
+		default:
+			return nil, fmt.Errorf("core: algorithm %q is not defined on the cube", c.Algorithm)
+		}
+	default:
+		return nil, fmt.Errorf("core: unknown topology %T", top)
+	}
+}
+
+// buildPattern constructs the traffic benchmark.
+func (c Config) buildPattern(top topology.Topology) (traffic.Pattern, error) {
+	nodes := top.Nodes()
+	switch c.Pattern {
+	case PatternUniform:
+		return traffic.NewUniform(nodes)
+	case PatternComplement:
+		return traffic.NewComplement(nodes)
+	case PatternBitRev:
+		return traffic.NewBitReversal(nodes)
+	case PatternTranspose:
+		return traffic.NewTranspose(nodes)
+	case PatternShuffle:
+		return traffic.NewShuffle(nodes)
+	case PatternNeighbor:
+		return traffic.NewNeighbor(nodes)
+	case PatternHotspot:
+		return traffic.NewHotspot(nodes, 0, c.HotspotFraction)
+	case PatternTornado:
+		cube, ok := top.(*topology.Cube)
+		if !ok {
+			return nil, fmt.Errorf("core: tornado traffic is defined on the cube only")
+		}
+		return traffic.NewTornado(cube), nil
+	default:
+		return nil, fmt.Errorf("core: unknown traffic pattern %q", c.Pattern)
+	}
+}
+
+// Timing returns the Chien-model timing of the configured router
+// implementation; its Clock converts cycles to nanoseconds.
+func (c Config) Timing() (cost.Timing, error) {
+	c = c.WithDefaults()
+	switch c.Network {
+	case NetworkTree:
+		return cost.TreeAdaptive(c.K, c.VCs), nil
+	case NetworkCube, NetworkMesh:
+		// The mesh router has the same arity and virtual channels as the
+		// cube's, so the cost model rows apply unchanged.
+		switch c.Algorithm {
+		case AlgDeterministic:
+			return cost.CubeDeterministicN(c.N), nil
+		case AlgDuato:
+			return cost.CubeDuatoN(c.N), nil
+		}
+	}
+	return cost.Timing{}, fmt.Errorf("core: no timing model for %s/%s", c.Network, c.Algorithm)
+}
+
+// PaperConfigs returns the five network/algorithm configurations of the
+// paper's final comparison (§10): the cube with deterministic and Duato
+// routing, and the tree with one, two and four virtual channels.
+func PaperConfigs() []Config {
+	return []Config{
+		{Network: NetworkCube, Algorithm: AlgDeterministic, VCs: 4},
+		{Network: NetworkCube, Algorithm: AlgDuato, VCs: 4},
+		{Network: NetworkTree, Algorithm: AlgAdaptive, VCs: 1},
+		{Network: NetworkTree, Algorithm: AlgAdaptive, VCs: 2},
+		{Network: NetworkTree, Algorithm: AlgAdaptive, VCs: 4},
+	}
+}

@@ -1,0 +1,10 @@
+package core
+
+import "smart/internal/metrics"
+
+// Sample1 and Sample2 provide fixed metrics samples for table-plumbing
+// tests.
+func Sample1() metrics.Sample { return metrics.Sample{Offered: 0.1, Accepted: 0.1} }
+
+// Sample2 is a second fixture.
+func Sample2() metrics.Sample { return metrics.Sample{Offered: 0.2, Accepted: 0.19} }

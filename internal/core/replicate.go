@@ -1,0 +1,76 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Replication aggregates one configuration measured across independent
+// seeds: mean and a normal-approximation 95% confidence half-width for
+// the accepted bandwidth and the mean latency. The paper reports single
+// runs (20000 cycles was expensive in 1997); replication quantifies the
+// Bernoulli-injection noise around every reported point.
+type Replication struct {
+	Runs                               int
+	MeanAccepted, AcceptedCI           float64
+	MeanLatencyCycles, LatencyCyclesCI float64
+	Results                            []Result
+}
+
+// Replicate runs the configuration with seeds base.Seed, base.Seed+1, ...
+// (runs of them, in parallel across workers) and aggregates the samples.
+func Replicate(base Config, runs, workers int) (Replication, error) {
+	if runs < 2 {
+		return Replication{}, fmt.Errorf("core: replication needs at least 2 runs, got %d", runs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	rep := Replication{Runs: runs, Results: make([]Result, runs)}
+	errs := make([]error, runs)
+	sem := make(chan struct{}, workers)
+	done := make(chan int)
+	for i := 0; i < runs; i++ {
+		go func(i int) {
+			sem <- struct{}{}
+			defer func() { <-sem; done <- i }()
+			cfg := base
+			cfg.Seed = base.Seed + uint64(i)
+			rep.Results[i], errs[i] = Run(cfg)
+		}(i)
+	}
+	for i := 0; i < runs; i++ {
+		<-done
+	}
+	for _, err := range errs {
+		if err != nil {
+			return Replication{}, err
+		}
+	}
+	accepted := make([]float64, runs)
+	latency := make([]float64, runs)
+	for i, r := range rep.Results {
+		accepted[i] = r.Sample.Accepted
+		latency[i] = r.Sample.AvgLatency
+	}
+	rep.MeanAccepted, rep.AcceptedCI = meanCI95(accepted)
+	rep.MeanLatencyCycles, rep.LatencyCyclesCI = meanCI95(latency)
+	return rep, nil
+}
+
+// meanCI95 returns the sample mean and the 95% confidence half-width
+// under the normal approximation (1.96 standard errors).
+func meanCI95(xs []float64) (mean, halfWidth float64) {
+	n := float64(len(xs))
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= n
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	variance := ss / (n - 1)
+	return mean, 1.96 * math.Sqrt(variance/n)
+}

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"smart/internal/cost"
+	"smart/internal/metrics"
+	"smart/internal/phys"
+	"smart/internal/sim"
+	"smart/internal/topology"
+	"smart/internal/traffic"
+	"smart/internal/wormhole"
+)
+
+// Simulation is a fully assembled experiment: topology, fabric, traffic
+// process, engine and measurement window. Most callers use Run or Sweep;
+// the pieces are exposed for tests, examples and custom harnesses.
+type Simulation struct {
+	Config   Config
+	Top      topology.Topology
+	Fabric   *wormhole.Fabric
+	Injector *traffic.Injector
+	Engine   *sim.Engine
+	Window   *metrics.Window
+}
+
+// Result is the measured outcome of one simulation, in both the
+// normalized cycle domain (Figures 5 and 6) and absolute units via the
+// Chien cost model (Figure 7).
+type Result struct {
+	Config Config
+	Sample metrics.Sample
+	Timing cost.Timing
+	// OfferedBitsNS and AcceptedBitsNS are the aggregate offered and
+	// accepted traffic in bits per nanosecond; LatencyNS the mean network
+	// latency in nanoseconds.
+	OfferedBitsNS, AcceptedBitsNS, LatencyNS float64
+}
+
+// NewSimulation assembles an experiment from the configuration.
+func NewSimulation(cfg Config) (*Simulation, error) {
+	cfg = cfg.WithDefaults()
+	top, err := cfg.buildTopology()
+	if err != nil {
+		return nil, err
+	}
+	flitBytes, err := phys.FlitBytes(top)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.PacketBytes%flitBytes != 0 {
+		return nil, fmt.Errorf("core: packet size %dB is not a whole number of %dB flits", cfg.PacketBytes, flitBytes)
+	}
+	alg, err := cfg.buildAlgorithm(top)
+	if err != nil {
+		return nil, err
+	}
+	fabric, err := wormhole.NewFabric(top, wormhole.Config{
+		VCs:             cfg.VCs,
+		BufDepth:        cfg.BufDepth,
+		PacketFlits:     cfg.PacketBytes / flitBytes,
+		InjLanes:        cfg.InjLanes,
+		WatchdogCycles:  cfg.WatchdogCycles,
+		StoreAndForward: cfg.StoreAndForward,
+		RouteEvery:      cfg.RouteEvery,
+		LinkCycles:      cfg.LinkCycles,
+	}, alg)
+	if err != nil {
+		return nil, err
+	}
+	pattern, err := cfg.buildPattern(top)
+	if err != nil {
+		return nil, err
+	}
+	// The configured packet size may differ from the paper's, so the
+	// packet rate follows the actual flit count.
+	capFlits, err := phys.CapacityFlits(top)
+	if err != nil {
+		return nil, err
+	}
+	rate := cfg.Load * capFlits / float64(cfg.PacketBytes/flitBytes)
+	inj, err := traffic.NewInjector(fabric, pattern, rate, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	window, err := metrics.NewWindow(fabric, capFlits)
+	if err != nil {
+		return nil, err
+	}
+	engine := sim.NewEngine()
+	// The traffic process runs first in the cycle so a packet created in
+	// a cycle can begin injecting the same cycle; the fabric then runs
+	// its canonical link / crossbar / routing / injection / credits order.
+	inj.Register(engine)
+	fabric.Register(engine)
+	return &Simulation{Config: cfg, Top: top, Fabric: fabric, Injector: inj, Engine: engine, Window: window}, nil
+}
+
+// Run executes the experiment with the paper's methodology and returns
+// its Result.
+func Run(cfg Config) (Result, error) {
+	s, err := NewSimulation(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return s.Run()
+}
+
+// Run executes warm-up, opens the measurement window, runs to the horizon
+// and measures.
+func (s *Simulation) Run() (Result, error) {
+	cfg := s.Config
+	s.Engine.Run(cfg.Warmup)
+	s.Window.Start(cfg.Warmup)
+	// Channel-utilization counters measure the same window as the
+	// bandwidth and latency statistics.
+	s.Fabric.ResetLinkStats()
+	s.Engine.Run(cfg.Horizon)
+	sample, err := s.Window.Measure(cfg.Horizon, cfg.Load)
+	if err != nil {
+		return Result{}, err
+	}
+	timing, err := cfg.Timing()
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{Config: cfg, Sample: sample, Timing: timing}
+	res.OfferedBitsNS, err = phys.ThroughputBitsPerNS(s.Top, sample.Offered, timing.Clock)
+	if err != nil {
+		return Result{}, err
+	}
+	res.AcceptedBitsNS, err = phys.ThroughputBitsPerNS(s.Top, sample.Accepted, timing.Clock)
+	if err != nil {
+		return Result{}, err
+	}
+	res.LatencyNS = phys.LatencyNS(sample.AvgLatency, timing.Clock)
+	return res, nil
+}
+
+// Drain stops the traffic process and runs the engine until the network
+// empties or maxExtra cycles elapse; it reports whether the network
+// drained. Tests use it to assert deadlock freedom and conservation.
+func (s *Simulation) Drain(maxExtra int64) bool {
+	s.Injector.Stop()
+	deadline := s.Engine.Cycle() + maxExtra
+	for s.Engine.Cycle() < deadline {
+		if s.Fabric.Drained() {
+			return true
+		}
+		s.Engine.Step()
+	}
+	return s.Fabric.Drained()
+}
+
+// Sweep runs the configuration at each offered load, in parallel across
+// min(workers, len(loads)) goroutines (each simulation is an independent
+// deterministic function of its config), and returns results ordered as
+// the loads.
+func Sweep(base Config, loads []float64, workers int) ([]Result, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	results := make([]Result, len(loads))
+	errs := make([]error, len(loads))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i, load := range loads {
+		wg.Add(1)
+		go func(i int, load float64) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			cfg := base
+			cfg.Load = load
+			results[i], errs[i] = Run(cfg)
+		}(i, load)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// SeriesOf extracts the metrics series from sweep results.
+func SeriesOf(results []Result) metrics.Series {
+	s := make(metrics.Series, len(results))
+	for i, r := range results {
+		s[i] = r.Sample
+	}
+	return s
+}
+
+// DefaultLoads is the offered-bandwidth grid of the paper's figures:
+// 5% to 100% of capacity in 5% steps.
+func DefaultLoads() []float64 {
+	loads := make([]float64, 0, 20)
+	for l := 0.05; l <= 1.0001; l += 0.05 {
+		loads = append(loads, l)
+	}
+	return loads
+}

@@ -1,0 +1,134 @@
+// Package cost implements Chien's router cost and speed model as the
+// paper applies it (§5): closed-form delay estimates, in nanoseconds and
+// for a 0.8 micron CMOS gate-array technology, of the routing decision,
+// the crossbar traversal and the link transmission, as functions of the
+// routing freedom F, the crossbar port count P and the virtual-channel
+// multiplexing degree V. The clock cycle of a router implementation is
+// the maximum of its three delays; the simulator equalizes all three
+// stages to one cycle and converts back to absolute time with these
+// figures, which regenerate the paper's Tables 1 and 2.
+package cost
+
+import (
+	"fmt"
+	"math"
+)
+
+// TRouting is Equation 1: the delay of address decoding, routing decision
+// and header selection, growing logarithmically in the degree of freedom
+// F offered by the routing algorithm.
+func TRouting(f int) float64 {
+	if f < 1 {
+		panic(fmt.Sprintf("cost: TRouting with non-positive freedom %d", f))
+	}
+	return 4.7 + 1.2*math.Log2(float64(f))
+}
+
+// TCrossbar is Equation 2: internal flow-control unit, crossbar and
+// output latch set-up, growing logarithmically in the number of crossbar
+// ports P.
+func TCrossbar(p int) float64 {
+	if p < 1 {
+		panic(fmt.Sprintf("cost: TCrossbar with non-positive port count %d", p))
+	}
+	return 3.4 + 0.6*math.Log2(float64(p))
+}
+
+// TLinkShort is Equation 3: transmission across a physical link with
+// short, constant-length wires — achievable for low-dimensional cubes
+// embedded in three-dimensional space — plus the virtual-channel
+// controller's logarithmic cost in V.
+func TLinkShort(v int) float64 {
+	if v < 1 {
+		panic(fmt.Sprintf("cost: TLinkShort with non-positive VC count %d", v))
+	}
+	return 5.14 + 0.6*math.Log2(float64(v))
+}
+
+// TLinkMedium is Equation 4: the same delay for medium-length wires,
+// which a 256-node quaternary fat-tree cannot avoid when embedded in
+// three-dimensional space.
+func TLinkMedium(v int) float64 {
+	if v < 1 {
+		panic(fmt.Sprintf("cost: TLinkMedium with non-positive VC count %d", v))
+	}
+	return 9.64 + 0.6*math.Log2(float64(v))
+}
+
+// Timing aggregates the three stage delays of a router implementation and
+// the resulting clock cycle (their maximum), all in nanoseconds.
+type Timing struct {
+	Label                      string
+	F, P, V                    int
+	TRouting, TCrossbar, TLink float64
+	Clock                      float64
+}
+
+func newTiming(label string, f, p, v int, tlink float64) Timing {
+	t := Timing{
+		Label: label, F: f, P: p, V: v,
+		TRouting:  TRouting(f),
+		TCrossbar: TCrossbar(p),
+		TLink:     tlink,
+	}
+	t.Clock = math.Max(t.TRouting, math.Max(t.TCrossbar, t.TLink))
+	return t
+}
+
+// CubeDeterministic returns the Table 1 timing of the deterministic cube
+// algorithm: V = 4 virtual channels, P = 17 crossbar ports (four links of
+// four lanes plus the injection channel), F = 2 (the two lanes of the
+// current virtual network in the single dimension-order direction), and
+// short wires.
+func CubeDeterministic() Timing {
+	return newTiming("deterministic", 2, 17, 4, TLinkShort(4))
+}
+
+// CubeDuato returns the Table 1 timing of the minimal adaptive cube
+// algorithm: same V and P as the deterministic one, but F = 6 (four
+// adaptive channels across the two minimal directions plus the two
+// deterministic channels).
+func CubeDuato() Timing {
+	return newTiming("duato", 6, 17, 4, TLinkShort(4))
+}
+
+// TreeAdaptive returns the Table 2 timing of the fat-tree adaptive
+// algorithm for a k-ary tree with v virtual channels: in the ascending
+// phase a packet may take any of the 2k-1 other links, each with v lanes,
+// so F = (2k-1)*v; the crossbar has P = 2k*v ports; and the wires are of
+// medium length.
+func TreeAdaptive(k, v int) Timing {
+	return newTiming(fmt.Sprintf("adaptive-%dvc", v), (2*k-1)*v, 2*k*v, v, TLinkMedium(v))
+}
+
+// CubeDeterministicN generalizes the Table 1 deterministic row to an
+// n-dimensional cube: the crossbar has 2n links of four lanes plus the
+// injection channel, and the routing freedom stays at the two lanes of
+// the current virtual network.
+func CubeDeterministicN(n int) Timing {
+	return newTiming("deterministic", 2, 8*n+1, 4, TLinkShort(4))
+}
+
+// CubeDuatoN generalizes the Table 1 adaptive row: two adaptive lanes on
+// each of up to n minimal directions plus the two deterministic escape
+// channels, F = 2n + 2.
+func CubeDuatoN(n int) Timing {
+	return newTiming("duato", 2*n+2, 8*n+1, 4, TLinkShort(4))
+}
+
+// Table1 returns the two rows of the paper's Table 1.
+func Table1() []Timing {
+	return []Timing{CubeDeterministic(), CubeDuato()}
+}
+
+// Table2 returns the three rows of the paper's Table 2 (a quaternary
+// tree with one, two and four virtual channels).
+func Table2() []Timing {
+	return []Timing{TreeAdaptive(4, 1), TreeAdaptive(4, 2), TreeAdaptive(4, 4)}
+}
+
+// Trunc2 truncates x to two decimals, the rounding the paper's tables
+// use; tests compare against the published figures through it. A small
+// epsilon absorbs binary floating-point artifacts (0.6*log2(8) is
+// 1.7999... in binary, but the paper's arithmetic is decimal).
+func Trunc2(x float64) float64 { return math.Trunc(x*100+1e-9) / 100 }

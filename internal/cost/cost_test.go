@@ -1,0 +1,203 @@
+package cost
+
+import (
+	"math"
+	"testing"
+)
+
+// TestTable1MatchesPaper regenerates Table 1 of the paper exactly: the
+// delays of the two cube routing algorithms in nanoseconds, truncated to
+// two decimals as published.
+func TestTable1MatchesPaper(t *testing.T) {
+	rows := Table1()
+	want := []struct {
+		label                             string
+		tRouting, tCrossbar, tLink, clock float64
+	}{
+		{"deterministic", 5.9, 5.85, 6.34, 6.34},
+		{"duato", 7.8, 5.85, 6.34, 7.8},
+	}
+	if len(rows) != len(want) {
+		t.Fatalf("Table 1 has %d rows, want %d", len(rows), len(want))
+	}
+	for i, w := range want {
+		r := rows[i]
+		if r.Label != w.label {
+			t.Errorf("row %d label %q, want %q", i, r.Label, w.label)
+		}
+		if got := Trunc2(r.TRouting); got != w.tRouting {
+			t.Errorf("%s T_routing = %v, want %v", w.label, got, w.tRouting)
+		}
+		if got := Trunc2(r.TCrossbar); got != w.tCrossbar {
+			t.Errorf("%s T_crossbar = %v, want %v", w.label, got, w.tCrossbar)
+		}
+		if got := Trunc2(r.TLink); got != w.tLink {
+			t.Errorf("%s T_link = %v, want %v", w.label, got, w.tLink)
+		}
+		if got := Trunc2(r.Clock); got != w.clock {
+			t.Errorf("%s T_clock = %v, want %v", w.label, got, w.clock)
+		}
+	}
+}
+
+// TestTable2MatchesPaper regenerates Table 2: the three fat-tree flow
+// control variants.
+func TestTable2MatchesPaper(t *testing.T) {
+	rows := Table2()
+	want := []struct {
+		label                             string
+		tRouting, tCrossbar, tLink, clock float64
+	}{
+		{"adaptive-1vc", 8.06, 5.2, 9.64, 9.64},
+		{"adaptive-2vc", 9.26, 5.8, 10.24, 10.24},
+		{"adaptive-4vc", 10.46, 6.4, 10.84, 10.84},
+	}
+	if len(rows) != len(want) {
+		t.Fatalf("Table 2 has %d rows, want %d", len(rows), len(want))
+	}
+	for i, w := range want {
+		r := rows[i]
+		if r.Label != w.label {
+			t.Errorf("row %d label %q, want %q", i, r.Label, w.label)
+		}
+		if got := Trunc2(r.TRouting); got != w.tRouting {
+			t.Errorf("%s T_routing = %v, want %v", w.label, got, w.tRouting)
+		}
+		if got := Trunc2(r.TCrossbar); got != w.tCrossbar {
+			t.Errorf("%s T_crossbar = %v, want %v", w.label, got, w.tCrossbar)
+		}
+		if got := Trunc2(r.TLink); got != w.tLink {
+			t.Errorf("%s T_link = %v, want %v", w.label, got, w.tLink)
+		}
+		if got := Trunc2(r.Clock); got != w.clock {
+			t.Errorf("%s T_clock = %v, want %v", w.label, got, w.clock)
+		}
+	}
+}
+
+func TestParametersMatchPaper(t *testing.T) {
+	det, duato := CubeDeterministic(), CubeDuato()
+	if det.F != 2 || det.P != 17 || det.V != 4 {
+		t.Errorf("deterministic parameters (F=%d P=%d V=%d), want (2,17,4)", det.F, det.P, det.V)
+	}
+	if duato.F != 6 || duato.P != 17 || duato.V != 4 {
+		t.Errorf("duato parameters (F=%d P=%d V=%d), want (6,17,4)", duato.F, duato.P, duato.V)
+	}
+	for _, v := range []int{1, 2, 4} {
+		tree := TreeAdaptive(4, v)
+		if tree.F != 7*v || tree.P != 8*v || tree.V != v {
+			t.Errorf("tree %dvc parameters (F=%d P=%d), want ((2k-1)V=%d, 2kV=%d)", v, tree.F, tree.P, 7*v, 8*v)
+		}
+	}
+}
+
+func TestGeneralizedCubeTimingsMatchPaperInstance(t *testing.T) {
+	if CubeDeterministicN(2) != CubeDeterministic() {
+		t.Error("CubeDeterministicN(2) differs from the Table 1 row")
+	}
+	if CubeDuatoN(2) != CubeDuato() {
+		t.Error("CubeDuatoN(2) differs from the Table 1 row")
+	}
+	// Higher dimensionality costs more routing freedom and ports.
+	d3 := CubeDuatoN(3)
+	if d3.F != 8 || d3.P != 25 {
+		t.Errorf("3-cube duato (F=%d P=%d), want (8,25)", d3.F, d3.P)
+	}
+}
+
+func TestDelayEquationsExactForm(t *testing.T) {
+	// Spot-check the closed forms at powers of two where log2 is exact.
+	if got := TRouting(2); math.Abs(got-5.9) > 1e-12 {
+		t.Errorf("TRouting(2) = %v", got)
+	}
+	if got := TRouting(8); math.Abs(got-(4.7+3.6)) > 1e-12 {
+		t.Errorf("TRouting(8) = %v", got)
+	}
+	if got := TCrossbar(8); math.Abs(got-5.2) > 1e-12 {
+		t.Errorf("TCrossbar(8) = %v", got)
+	}
+	if got := TLinkShort(1); math.Abs(got-5.14) > 1e-12 {
+		t.Errorf("TLinkShort(1) = %v", got)
+	}
+	if got := TLinkMedium(4); math.Abs(got-10.84) > 1e-12 {
+		t.Errorf("TLinkMedium(4) = %v", got)
+	}
+}
+
+func TestDelaysMonotonic(t *testing.T) {
+	for f := 1; f < 64; f++ {
+		if TRouting(f+1) <= TRouting(f) {
+			t.Fatalf("TRouting not increasing at F=%d", f)
+		}
+	}
+	for p := 1; p < 64; p++ {
+		if TCrossbar(p+1) <= TCrossbar(p) {
+			t.Fatalf("TCrossbar not increasing at P=%d", p)
+		}
+	}
+	for v := 1; v < 32; v++ {
+		if TLinkShort(v+1) <= TLinkShort(v) || TLinkMedium(v+1) <= TLinkMedium(v) {
+			t.Fatalf("link delays not increasing at V=%d", v)
+		}
+	}
+}
+
+func TestMediumWiresAlwaysSlower(t *testing.T) {
+	for v := 1; v <= 16; v++ {
+		if TLinkMedium(v) <= TLinkShort(v) {
+			t.Fatalf("medium wires not slower at V=%d", v)
+		}
+	}
+}
+
+func TestClockIsMaxOfDelays(t *testing.T) {
+	for _, timing := range append(Table1(), Table2()...) {
+		max := math.Max(timing.TRouting, math.Max(timing.TCrossbar, timing.TLink))
+		if timing.Clock != max {
+			t.Errorf("%s clock %v != max delay %v", timing.Label, timing.Clock, max)
+		}
+	}
+}
+
+// TestTreeWireLimitedUntil4VC captures the paper's observation: with one
+// and two virtual channels the fat-tree router is wire-limited (the link
+// delay dominates); at four the routing delay nearly catches up, and
+// beyond four the routing logic becomes the bottleneck.
+func TestTreeWireLimitedUntil4VC(t *testing.T) {
+	for _, v := range []int{1, 2, 4} {
+		tm := TreeAdaptive(4, v)
+		if tm.Clock != tm.TLink {
+			t.Errorf("%dvc: clock %v not set by the wire delay %v", v, tm.Clock, tm.TLink)
+		}
+	}
+	if tm := TreeAdaptive(4, 8); tm.Clock != tm.TRouting {
+		t.Errorf("8vc: expected routing-limited clock, got %v (routing %v)", tm.Clock, tm.TRouting)
+	}
+}
+
+func TestDelayPanicsOnBadInput(t *testing.T) {
+	for _, fn := range []func(){
+		func() { TRouting(0) },
+		func() { TCrossbar(0) },
+		func() { TLinkShort(0) },
+		func() { TLinkMedium(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("non-positive parameter did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestTrunc2(t *testing.T) {
+	cases := map[float64]float64{8.0689: 8.06, 7.8019: 7.8, 6.34: 6.34, 10.4688: 10.46}
+	for in, want := range cases {
+		if got := Trunc2(in); got != want {
+			t.Errorf("Trunc2(%v) = %v, want %v", in, got, want)
+		}
+	}
+}

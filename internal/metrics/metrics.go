@@ -1,0 +1,206 @@
+// Package metrics computes the paper's two quantitative parameters (§6):
+// accepted bandwidth (the sustained data delivery rate for a given
+// offered bandwidth) and network latency (header insertion in the
+// injection lane to tail reception at the destination, source queueing
+// excluded). Measurements are taken over a window that starts after the
+// warm-up period (2000 cycles in the paper) and ends at the horizon
+// (20000 cycles), and are assembled into the Chaos Normal Form series of
+// Figures 5 and 6: accepted bandwidth and latency as functions of the
+// offered bandwidth, both normalized to the uniform-traffic capacity.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"smart/internal/wormhole"
+)
+
+// Sample is the outcome of one simulation at one offered load.
+type Sample struct {
+	// Offered is the nominal injection rate as a fraction of capacity.
+	Offered float64
+	// CreatedLoad is the measured packet creation rate as a fraction of
+	// capacity. It differs from Offered by Bernoulli noise and, for
+	// permutations with fixed points (the paper's transpose and
+	// bit-reversal have 16 silent nodes on 256), by the non-injecting
+	// fraction. Saturation is defined against this rate (§6: "the
+	// accepted bandwidth is lower than the global packet creation rate").
+	CreatedLoad float64
+	// Accepted is the delivered traffic as a fraction of capacity,
+	// measured over the window.
+	Accepted float64
+	// AcceptedFlits is the same in flits per node per cycle.
+	AcceptedFlits float64
+	// AvgLatency is the mean network latency, in cycles, of packets
+	// delivered inside the window.
+	AvgLatency float64
+	// P95Latency is the 95th-percentile network latency in cycles.
+	P95Latency float64
+	// AvgHeadLatency is the mean header latency (injection to header
+	// arrival) in cycles.
+	AvgHeadLatency float64
+	// AvgHops is the mean number of switch traversals of delivered
+	// packets.
+	AvgHops float64
+	// PacketsDelivered counts packets whose tail arrived inside the
+	// window; PacketsCreated counts packets generated inside it.
+	PacketsDelivered, PacketsCreated int64
+}
+
+// Window measures a fabric over [warmup, horizon). Snapshot the counters
+// with Start at the warm-up boundary, run the engine to the horizon, then
+// call Measure.
+type Window struct {
+	fabric         *wormhole.Fabric
+	warmup         int64
+	startCounters  wormhole.Counters
+	started        bool
+	capacityFlits  float64
+	flitsPerPacket float64
+}
+
+// NewWindow prepares a measurement over the fabric. capacityFlits is the
+// per-node capacity bound in flits/cycle used for normalization.
+func NewWindow(f *wormhole.Fabric, capacityFlits float64) (*Window, error) {
+	if capacityFlits <= 0 {
+		return nil, fmt.Errorf("metrics: capacity must be positive, got %v", capacityFlits)
+	}
+	return &Window{
+		fabric:         f,
+		capacityFlits:  capacityFlits,
+		flitsPerPacket: float64(f.Cfg.PacketFlits),
+	}, nil
+}
+
+// Start marks the beginning of the measurement window at the given cycle.
+func (w *Window) Start(cycle int64) {
+	w.warmup = cycle
+	w.startCounters = w.fabric.Counters()
+	w.started = true
+}
+
+// Measure computes the sample for the window ending at the given cycle.
+// offered is the nominal load fraction driving the injection process.
+func (w *Window) Measure(end int64, offered float64) (Sample, error) {
+	if !w.started {
+		return Sample{}, fmt.Errorf("metrics: Measure called before Start")
+	}
+	if end <= w.warmup {
+		return Sample{}, fmt.Errorf("metrics: empty window [%d, %d)", w.warmup, end)
+	}
+	cycles := float64(end - w.warmup)
+	nodes := float64(w.fabric.Top.Nodes())
+	now := w.fabric.Counters()
+
+	s := Sample{Offered: offered}
+	deliveredFlits := float64(now.FlitsDelivered - w.startCounters.FlitsDelivered)
+	s.AcceptedFlits = deliveredFlits / cycles / nodes
+	s.Accepted = s.AcceptedFlits / w.capacityFlits
+	s.PacketsCreated = now.PacketsCreated - w.startCounters.PacketsCreated
+	s.CreatedLoad = float64(s.PacketsCreated) * w.flitsPerPacket / cycles / nodes / w.capacityFlits
+
+	var latSum, headSum, hopSum float64
+	var lats []float64
+	for i := range w.fabric.Packets {
+		pk := &w.fabric.Packets[i]
+		if pk.TailAt < w.warmup || pk.TailAt >= end || !pk.Delivered() {
+			continue
+		}
+		s.PacketsDelivered++
+		lat := float64(pk.NetworkLatency())
+		latSum += lat
+		lats = append(lats, lat)
+		headSum += float64(pk.HeadAt - pk.InjectedAt)
+		hopSum += float64(pk.Hops)
+	}
+	if s.PacketsDelivered > 0 {
+		n := float64(s.PacketsDelivered)
+		s.AvgLatency = latSum / n
+		s.AvgHeadLatency = headSum / n
+		s.AvgHops = hopSum / n
+		sort.Float64s(lats)
+		idx := int(math.Ceil(0.95*float64(len(lats)))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		s.P95Latency = lats[idx]
+	}
+	return s, nil
+}
+
+// Series is a load sweep: samples ordered by offered load, the paper's
+// CNF presentation.
+type Series []Sample
+
+// Saturation returns the saturation point of the series — the minimum
+// offered bandwidth where the accepted bandwidth falls below the packet
+// creation rate (§6) — as a fraction of capacity, linearly interpolated
+// between the last stable and the first saturated sample. The creation
+// rate is the measured CreatedLoad when the sample carries one (so
+// patterns with non-injecting fixed points are judged against the traffic
+// they actually generate), else the nominal offered load. The tolerance
+// absorbs Bernoulli noise. If the series never saturates it returns the
+// last offered load and false.
+func (s Series) Saturation(tolerance float64) (float64, bool) {
+	deficit := func(smp Sample) float64 {
+		created := smp.CreatedLoad
+		if created == 0 {
+			created = smp.Offered
+		}
+		return created - smp.Accepted
+	}
+	for i, smp := range s {
+		if deficit(smp) <= tolerance {
+			continue
+		}
+		if i == 0 {
+			return smp.Offered, true
+		}
+		prev := s[i-1]
+		// Interpolate on the deficit crossing the tolerance.
+		d0 := deficit(prev)
+		d1 := deficit(smp)
+		t := (tolerance - d0) / (d1 - d0)
+		return prev.Offered + t*(smp.Offered-prev.Offered), true
+	}
+	if len(s) == 0 {
+		return 0, false
+	}
+	return s[len(s)-1].Offered, false
+}
+
+// PostSaturationStability returns the ratio of the minimum to the maximum
+// accepted bandwidth over the samples at or beyond the saturation point —
+// 1.0 means a perfectly flat post-saturation throughput, the stability
+// the paper highlights for the fat-tree (§8).
+func (s Series) PostSaturationStability(tolerance float64) (float64, bool) {
+	sat, ok := s.Saturation(tolerance)
+	if !ok {
+		return 1, false
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	count := 0
+	for _, smp := range s {
+		if smp.Offered < sat {
+			continue
+		}
+		count++
+		lo = math.Min(lo, smp.Accepted)
+		hi = math.Max(hi, smp.Accepted)
+	}
+	if count < 2 || hi == 0 {
+		return 1, false
+	}
+	return lo / hi, true
+}
+
+// MaxAccepted returns the largest accepted bandwidth in the series.
+func (s Series) MaxAccepted() float64 {
+	best := 0.0
+	for _, smp := range s {
+		best = math.Max(best, smp.Accepted)
+	}
+	return best
+}

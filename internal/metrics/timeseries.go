@@ -1,0 +1,129 @@
+package metrics
+
+import (
+	"fmt"
+
+	"smart/internal/sim"
+	"smart/internal/wormhole"
+)
+
+// TimePoint is one sample of the network's dynamic state.
+type TimePoint struct {
+	Cycle int64
+	// Throughput is the delivered flits per node per cycle since the
+	// previous sample.
+	Throughput float64
+	// InFlight is the number of flits inside the network at the sample
+	// instant; Queued the packets waiting at sources.
+	InFlight, Queued int64
+	// AvgLatency is the mean network latency, in cycles, of packets
+	// delivered since the previous sample (0 when none were).
+	AvgLatency float64
+}
+
+// TimeSeries samples a fabric at a fixed cadence — the view the paper's
+// methodology presumes when it asserts the network reaches steady state
+// within the 2000-cycle warm-up. Register it on the engine after the
+// fabric's stages.
+type TimeSeries struct {
+	fabric *wormhole.Fabric
+	every  int64
+	points []TimePoint
+
+	lastDelivered int64
+	lastPacket    int
+}
+
+// NewTimeSeries samples the fabric every `every` cycles.
+func NewTimeSeries(f *wormhole.Fabric, every int64) (*TimeSeries, error) {
+	if every < 1 {
+		return nil, fmt.Errorf("metrics: sampling interval %d must be positive", every)
+	}
+	return &TimeSeries{fabric: f, every: every}, nil
+}
+
+// Register installs the sampling stage.
+func (ts *TimeSeries) Register(e *sim.Engine) {
+	e.RegisterFunc("timeseries", ts.tick)
+}
+
+func (ts *TimeSeries) tick(cycle int64) {
+	if cycle == 0 || (cycle+1)%ts.every != 0 {
+		return
+	}
+	c := ts.fabric.Counters()
+	nodes := float64(ts.fabric.Top.Nodes())
+	p := TimePoint{
+		Cycle:      cycle + 1,
+		Throughput: float64(c.FlitsDelivered-ts.lastDelivered) / float64(ts.every) / nodes,
+		InFlight:   ts.fabric.InFlight(),
+		Queued:     ts.fabric.QueuedPackets(),
+	}
+	var latSum float64
+	var latN int64
+	for i := ts.lastPacket; i < len(ts.fabric.Packets); i++ {
+		// Scanning from the low-water mark keeps this amortized O(1) per
+		// packet; packets delivered out of creation order near the mark
+		// are a negligible sampling artifact.
+		pk := &ts.fabric.Packets[i]
+		if pk.Delivered() {
+			latSum += float64(pk.NetworkLatency())
+			latN++
+		}
+	}
+	if latN > 0 {
+		p.AvgLatency = latSum / float64(latN)
+	}
+	// Advance the low-water mark past the packets that are fully done.
+	for ts.lastPacket < len(ts.fabric.Packets) && ts.fabric.Packets[ts.lastPacket].Delivered() {
+		ts.lastPacket++
+	}
+	ts.lastDelivered = c.FlitsDelivered
+	ts.points = append(ts.points, p)
+}
+
+// Points returns the samples collected so far.
+func (ts *TimeSeries) Points() []TimePoint { return ts.points }
+
+// SteadyStateBy returns the first sampled cycle after which the
+// throughput stays within tolerance (relative) of the final sample's
+// throughput — an empirical check of a warm-up choice. It returns false
+// when the series never settles (e.g. above saturation, where queues grow
+// without bound but throughput still stabilizes; instability here means
+// oscillation beyond the tolerance).
+func (ts *TimeSeries) SteadyStateBy(tolerance float64) (int64, bool) {
+	if len(ts.points) < 2 {
+		return 0, false
+	}
+	final := ts.points[len(ts.points)-1].Throughput
+	if final == 0 {
+		return 0, false
+	}
+	for i, p := range ts.points {
+		settled := true
+		for _, q := range ts.points[i:] {
+			if rel(q.Throughput, final) > tolerance {
+				settled = false
+				break
+			}
+		}
+		if settled {
+			return p.Cycle, true
+		}
+	}
+	return 0, false
+}
+
+func rel(a, b float64) float64 {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	if b < 0 {
+		b = -b
+	}
+	if b == 0 {
+		return 0
+	}
+	return d / b
+}

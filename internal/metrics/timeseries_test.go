@@ -1,0 +1,95 @@
+package metrics
+
+import (
+	"testing"
+
+	"smart/internal/sim"
+)
+
+// steadyTraffic drives the ring fabric with a constant per-cycle load.
+func steadyTraffic(t *testing.T, rate float64, cycles int64, every int64) *TimeSeries {
+	t.Helper()
+	f, e := measured(t)
+	ts, err := NewTimeSeries(f, every)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRNG(8)
+	e.RegisterFunc("gen", func(cycle int64) {
+		for n := 0; n < f.Top.Nodes(); n++ {
+			if rng.Bernoulli(rate) {
+				dst := (n + 1 + rng.Intn(f.Top.Nodes()-1)) % f.Top.Nodes()
+				if dst > n { // keep greedy Plus routing deadlock-free
+					f.EnqueuePacket(n, dst, cycle)
+				}
+			}
+		}
+	})
+	ts.Register(e)
+	e.Run(cycles)
+	return ts
+}
+
+func TestTimeSeriesSamplingCadence(t *testing.T) {
+	ts := steadyTraffic(t, 0.05, 1000, 100)
+	points := ts.Points()
+	if len(points) != 10 {
+		t.Fatalf("%d samples over 1000 cycles at every=100", len(points))
+	}
+	for i, p := range points {
+		if p.Cycle != int64((i+1)*100) {
+			t.Fatalf("sample %d at cycle %d", i, p.Cycle)
+		}
+	}
+}
+
+func TestTimeSeriesThroughputAccounting(t *testing.T) {
+	ts := steadyTraffic(t, 0.05, 1000, 100)
+	f := ts.fabric
+	var sum float64
+	for _, p := range ts.Points() {
+		sum += p.Throughput * 100 * float64(f.Top.Nodes())
+	}
+	if int64(sum+0.5) != f.Counters().FlitsDelivered {
+		t.Fatalf("summed throughput %v flits, counters say %d", sum, f.Counters().FlitsDelivered)
+	}
+}
+
+func TestTimeSeriesReachesSteadyState(t *testing.T) {
+	ts := steadyTraffic(t, 0.05, 4000, 200)
+	cycle, ok := ts.SteadyStateBy(0.5)
+	if !ok {
+		t.Fatal("steady state never reached at a light load")
+	}
+	if cycle > 2000 {
+		t.Fatalf("steady state only at cycle %d; the paper's 2000-cycle warm-up would be insufficient", cycle)
+	}
+}
+
+func TestTimeSeriesLatencyPositiveUnderTraffic(t *testing.T) {
+	ts := steadyTraffic(t, 0.05, 2000, 500)
+	saw := false
+	for _, p := range ts.Points() {
+		if p.AvgLatency > 0 {
+			saw = true
+		}
+	}
+	if !saw {
+		t.Fatal("no sample recorded a latency")
+	}
+}
+
+func TestTimeSeriesValidation(t *testing.T) {
+	f, _ := measured(t)
+	if _, err := NewTimeSeries(f, 0); err == nil {
+		t.Fatal("zero interval accepted")
+	}
+}
+
+func TestTimeSeriesEmptyNoSteadyState(t *testing.T) {
+	f, _ := measured(t)
+	ts, _ := NewTimeSeries(f, 100)
+	if _, ok := ts.SteadyStateBy(0.1); ok {
+		t.Fatal("empty series claimed steady state")
+	}
+}

@@ -1,0 +1,77 @@
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// intensity maps a normalized value to a density character.
+var intensity = []byte(" .:-=+*#%@")
+
+// Heatmap renders a 2D grid of non-negative values as character
+// densities, normalized to the grid maximum. The paper's §9 reasons about
+// spatial congestion ("a continuous area of congestion along this
+// diagonal", "underloaded areas ... along or near the two main
+// diagonals"); a heatmap of per-router channel utilization makes those
+// patterns visible in a terminal.
+type Heatmap struct {
+	Title string
+	// Values[row][col]; all rows must have equal length.
+	Values [][]float64
+	// RowLabel and ColLabel annotate the axes.
+	RowLabel, ColLabel string
+}
+
+// Render draws the heatmap with a scale legend.
+func (h *Heatmap) Render() (string, error) {
+	if len(h.Values) == 0 || len(h.Values[0]) == 0 {
+		return "", fmt.Errorf("plot: empty heatmap")
+	}
+	cols := len(h.Values[0])
+	max := 0.0
+	for r, row := range h.Values {
+		if len(row) != cols {
+			return "", fmt.Errorf("plot: heatmap row %d has %d columns, want %d", r, len(row), cols)
+		}
+		for _, v := range row {
+			if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				return "", fmt.Errorf("plot: heatmap values must be finite and non-negative, got %v", v)
+			}
+			max = math.Max(max, v)
+		}
+	}
+	var b strings.Builder
+	if h.Title != "" {
+		fmt.Fprintf(&b, "%s\n", h.Title)
+	}
+	for _, row := range h.Values {
+		b.WriteString("  ")
+		for _, v := range row {
+			b.WriteByte(cell(v, max))
+			b.WriteByte(cell(v, max)) // double width: terminal cells are tall
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "  scale: '%c'=0", intensity[0])
+	if max > 0 {
+		fmt.Fprintf(&b, " to '%c'=%.3f", intensity[len(intensity)-1], max)
+	}
+	b.WriteByte('\n')
+	if h.RowLabel != "" || h.ColLabel != "" {
+		fmt.Fprintf(&b, "  rows: %s, cols: %s\n", h.RowLabel, h.ColLabel)
+	}
+	return b.String(), nil
+}
+
+// cell picks the density character for value v on a scale to max.
+func cell(v, max float64) byte {
+	if max == 0 {
+		return intensity[0]
+	}
+	idx := int(v / max * float64(len(intensity)-1))
+	if idx >= len(intensity) {
+		idx = len(intensity) - 1
+	}
+	return intensity[idx]
+}

@@ -1,0 +1,76 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestHeatmapRender(t *testing.T) {
+	h := Heatmap{
+		Title: "load",
+		Values: [][]float64{
+			{0, 0.5, 1.0},
+			{1.0, 0.5, 0},
+		},
+		RowLabel: "y", ColLabel: "x",
+	}
+	out, err := h.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "load") || !strings.Contains(out, "rows: y, cols: x") {
+		t.Fatalf("annotations missing:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	// Row 1 of the grid: min, mid, max -> ' ', '+' (or similar), '@'.
+	if !strings.HasSuffix(strings.TrimRight(lines[1], " "), "@@") {
+		t.Fatalf("max cell not rendered with the top character: %q", lines[1])
+	}
+	if !strings.Contains(out, "'@'=1.000") {
+		t.Fatalf("scale legend missing:\n%s", out)
+	}
+}
+
+func TestHeatmapZeroGrid(t *testing.T) {
+	h := Heatmap{Values: [][]float64{{0, 0}, {0, 0}}}
+	out, err := h.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "@") {
+		t.Fatalf("zero grid rendered hot cells:\n%s", out)
+	}
+}
+
+func TestHeatmapErrors(t *testing.T) {
+	if _, err := (&Heatmap{}).Render(); err == nil {
+		t.Error("empty heatmap accepted")
+	}
+	ragged := Heatmap{Values: [][]float64{{1, 2}, {3}}}
+	if _, err := ragged.Render(); err == nil {
+		t.Error("ragged heatmap accepted")
+	}
+	negative := Heatmap{Values: [][]float64{{-1}}}
+	if _, err := negative.Render(); err == nil {
+		t.Error("negative value accepted")
+	}
+	bad := Heatmap{Values: [][]float64{{math.NaN()}}}
+	if _, err := bad.Render(); err == nil {
+		t.Error("NaN accepted")
+	}
+}
+
+func TestCellMonotone(t *testing.T) {
+	prev := -1
+	for v := 0.0; v <= 1.0; v += 0.05 {
+		idx := strings.IndexByte(string(intensity), cell(v, 1.0))
+		if idx < prev {
+			t.Fatalf("cell intensity not monotone at %v", v)
+		}
+		prev = idx
+	}
+	if cell(0.5, 0) != intensity[0] {
+		t.Fatal("zero max should render blank")
+	}
+}

@@ -1,0 +1,149 @@
+// Package plot renders X/Y series as ASCII charts, so the command-line
+// harness can show the shape of the paper's figures — saturation knees,
+// crossovers between configurations, latency blow-ups — directly in a
+// terminal, without external plotting tools. Multiple series share one
+// canvas and are distinguished by marker characters; a legend, axis
+// ranges and tick labels complete the chart.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named curve.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// markers distinguishes up to len(markers) series on one canvas.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Chart renders the series onto a width x height character canvas with
+// axes and a legend. Width and height refer to the plotting area; the
+// full output is larger by the axis gutters.
+type Chart struct {
+	Title          string
+	XLabel, YLabel string
+	Width, Height  int
+	Series         []Series
+}
+
+// Render draws the chart. It returns an error when the chart is empty or
+// malformed (mismatched X/Y lengths, too many series, non-positive
+// dimensions).
+func (c *Chart) Render() (string, error) {
+	if c.Width < 10 || c.Height < 4 {
+		return "", fmt.Errorf("plot: canvas %dx%d too small", c.Width, c.Height)
+	}
+	if len(c.Series) == 0 {
+		return "", fmt.Errorf("plot: no series")
+	}
+	if len(c.Series) > len(markers) {
+		return "", fmt.Errorf("plot: %d series exceed the %d available markers", len(c.Series), len(markers))
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	points := 0
+	for _, s := range c.Series {
+		if len(s.X) != len(s.Y) {
+			return "", fmt.Errorf("plot: series %q has %d x values and %d y values", s.Name, len(s.X), len(s.Y))
+		}
+		for i := range s.X {
+			if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) || math.IsInf(s.X[i], 0) || math.IsInf(s.Y[i], 0) {
+				continue
+			}
+			points++
+			xmin, xmax = math.Min(xmin, s.X[i]), math.Max(xmax, s.X[i])
+			ymin, ymax = math.Min(ymin, s.Y[i]), math.Max(ymax, s.Y[i])
+		}
+	}
+	if points == 0 {
+		return "", fmt.Errorf("plot: no finite points")
+	}
+	// Zero-span axes still need a drawable range.
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	// Anchor the y axis at zero when the data is non-negative: the
+	// paper's figures all start at the origin.
+	if ymin > 0 && ymin < ymax/2 {
+		ymin = 0
+	}
+	if xmin > 0 && xmin < xmax/2 {
+		xmin = 0
+	}
+
+	canvas := make([][]byte, c.Height)
+	for r := range canvas {
+		canvas[r] = []byte(strings.Repeat(" ", c.Width))
+	}
+	for si, s := range c.Series {
+		m := markers[si]
+		for i := range s.X {
+			if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) {
+				continue
+			}
+			col := int(math.Round((s.X[i] - xmin) / (xmax - xmin) * float64(c.Width-1)))
+			row := int(math.Round((s.Y[i] - ymin) / (ymax - ymin) * float64(c.Height-1)))
+			if col < 0 || col >= c.Width || row < 0 || row >= c.Height {
+				continue
+			}
+			canvas[c.Height-1-row][col] = m
+		}
+	}
+
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	yLo, yHi := formatTick(ymin), formatTick(ymax)
+	gutter := len(yLo)
+	if len(yHi) > gutter {
+		gutter = len(yHi)
+	}
+	for r, line := range canvas {
+		label := strings.Repeat(" ", gutter)
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%*s", gutter, yHi)
+		case c.Height - 1:
+			label = fmt.Sprintf("%*s", gutter, yLo)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(line))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", gutter), strings.Repeat("-", c.Width))
+	xLo, xHi := formatTick(xmin), formatTick(xmax)
+	pad := c.Width - len(xLo) - len(xHi)
+	if pad < 1 {
+		pad = 1
+	}
+	fmt.Fprintf(&b, "%s  %s%s%s\n", strings.Repeat(" ", gutter), xLo, strings.Repeat(" ", pad), xHi)
+	if c.XLabel != "" || c.YLabel != "" {
+		fmt.Fprintf(&b, "%s  x: %s, y: %s\n", strings.Repeat(" ", gutter), c.XLabel, c.YLabel)
+	}
+	for si, s := range c.Series {
+		fmt.Fprintf(&b, "%s  %c %s\n", strings.Repeat(" ", gutter), markers[si], s.Name)
+	}
+	return b.String(), nil
+}
+
+// formatTick renders an axis extreme compactly.
+func formatTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case v == 0:
+		return "0"
+	case av >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 1:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}

@@ -1,0 +1,148 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func line(n int, f func(i int) float64) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = f(i)
+	}
+	return v
+}
+
+func TestRenderBasicChart(t *testing.T) {
+	c := Chart{
+		Title: "throughput", XLabel: "offered", YLabel: "accepted",
+		Width: 40, Height: 10,
+		Series: []Series{{
+			Name: "cube",
+			X:    line(10, func(i int) float64 { return float64(i) / 10 }),
+			Y:    line(10, func(i int) float64 { return float64(i) / 10 }),
+		}},
+	}
+	out, err := c.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "throughput") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "* cube") {
+		t.Error("legend missing")
+	}
+	if !strings.Contains(out, "x: offered, y: accepted") {
+		t.Error("axis labels missing")
+	}
+	if strings.Count(out, "*") < 9 { // 9+ plotted markers + legend
+		t.Errorf("too few plotted points:\n%s", out)
+	}
+}
+
+func TestRenderMonotoneSeriesClimbs(t *testing.T) {
+	c := Chart{
+		Width: 30, Height: 8,
+		Series: []Series{{
+			Name: "up",
+			X:    line(30, func(i int) float64 { return float64(i) }),
+			Y:    line(30, func(i int) float64 { return float64(i) }),
+		}},
+	}
+	out, err := c.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(out, "\n")
+	// First canvas row (top) should have its marker to the right of the
+	// bottom row's marker.
+	top := strings.IndexByte(lines[0], '*')
+	bottom := strings.IndexByte(lines[7], '*')
+	if top <= bottom {
+		t.Fatalf("monotone series not rendered as a climb (top col %d, bottom col %d):\n%s", top, bottom, out)
+	}
+}
+
+func TestRenderMultipleSeriesDistinctMarkers(t *testing.T) {
+	mk := func(name string, slope float64) Series {
+		return Series{
+			Name: name,
+			X:    line(10, func(i int) float64 { return float64(i) }),
+			Y:    line(10, func(i int) float64 { return slope * float64(i) }),
+		}
+	}
+	c := Chart{Width: 30, Height: 10, Series: []Series{mk("a", 1), mk("b", 2), mk("c", 0.5)}}
+	out, err := c.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, marker := range []string{"* a", "o b", "+ c"} {
+		if !strings.Contains(out, marker) {
+			t.Errorf("legend entry %q missing:\n%s", marker, out)
+		}
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	tiny := Chart{Width: 2, Height: 2, Series: []Series{{Name: "x", X: []float64{1}, Y: []float64{1}}}}
+	if _, err := tiny.Render(); err == nil {
+		t.Error("tiny canvas accepted")
+	}
+	empty := Chart{Width: 40, Height: 10}
+	if _, err := empty.Render(); err == nil {
+		t.Error("empty chart accepted")
+	}
+	ragged := Chart{Width: 40, Height: 10, Series: []Series{{Name: "r", X: []float64{1, 2}, Y: []float64{1}}}}
+	if _, err := ragged.Render(); err == nil {
+		t.Error("ragged series accepted")
+	}
+	var many []Series
+	for i := 0; i < 9; i++ {
+		many = append(many, Series{Name: "s", X: []float64{1}, Y: []float64{1}})
+	}
+	if _, err := (&Chart{Width: 40, Height: 10, Series: many}).Render(); err == nil {
+		t.Error("too many series accepted")
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	c := Chart{
+		Width: 20, Height: 5,
+		Series: []Series{{Name: "flat", X: []float64{0, 1, 2}, Y: []float64{5, 5, 5}}},
+	}
+	if _, err := c.Render(); err != nil {
+		t.Fatalf("constant series failed: %v", err)
+	}
+}
+
+func TestRenderSkipsNonFinite(t *testing.T) {
+	inf := []float64{0, 1, 2}
+	c := Chart{
+		Width: 20, Height: 5,
+		Series: []Series{{Name: "nan", X: inf, Y: []float64{1, nan(), 3}}},
+	}
+	out, err := c.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(out, "*") != 2+1 { // two points + legend
+		t.Errorf("NaN point not skipped:\n%s", out)
+	}
+	allBad := Chart{Width: 20, Height: 5, Series: []Series{{Name: "x", X: []float64{0}, Y: []float64{nan()}}}}
+	if _, err := allBad.Render(); err == nil {
+		t.Error("all-NaN series accepted")
+	}
+}
+
+func nan() float64 { return math.NaN() }
+
+func TestFormatTick(t *testing.T) {
+	cases := map[float64]string{0: "0", 0.5: "0.50", 3.25: "3.2", 150: "150", 4096: "4096"}
+	for in, want := range cases {
+		if got := formatTick(in); got != want {
+			t.Errorf("formatTick(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

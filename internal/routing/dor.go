@@ -1,0 +1,80 @@
+package routing
+
+import (
+	"fmt"
+
+	"smart/internal/topology"
+	"smart/internal/wormhole"
+)
+
+// Cube virtual-channel layout shared by the two cube disciplines. The
+// deterministic algorithm uses all four lanes as two two-lane virtual
+// networks; Duato's algorithm uses lanes 0-1 as adaptive channels and
+// lanes 2-3 as the escape channels, one per virtual network.
+const (
+	cubeVCs = 4
+	// Deterministic: lanes {0,1} form virtual network 0, lanes {2,3}
+	// virtual network 1.
+	detNetLanes = 2
+	// Duato: adaptive lanes are {0,1}; escape lanes are {2,3}, one per
+	// Dally-Seitz class.
+	duatoAdaptiveLanes = 2
+	duatoEscapeBase    = 2
+)
+
+// DOR is the deterministic algorithm of §3: dimension-order routing over a
+// unique minimal path, with deadlock caused by the wrap-around connections
+// avoided by doubling the virtual channels into two virtual networks
+// (Dally-Seitz). A packet starts every dimension in the first virtual
+// network and moves to the second upon crossing that dimension's
+// wrap-around connection. Four virtual channels per physical link: two per
+// virtual network, so the routing freedom is F = 2 (the lane choice within
+// the current network).
+type DOR struct {
+	cube *topology.Cube
+}
+
+// NewDOR returns the deterministic cube algorithm.
+func NewDOR(cube *topology.Cube) *DOR { return &DOR{cube: cube} }
+
+// Name implements wormhole.RoutingAlgorithm.
+func (a *DOR) Name() string { return "deterministic" }
+
+// VCs implements wormhole.RoutingAlgorithm.
+func (a *DOR) VCs() int { return cubeVCs }
+
+// Route implements wormhole.RoutingAlgorithm.
+func (a *DOR) Route(f *wormhole.Fabric, r, inPort, inLane int, pkt wormhole.PacketID) (int, int, bool) {
+	info := f.Packet(pkt)
+	dst := int(info.Dst)
+	if r == dst {
+		// Ejection: any free lane of the node port.
+		lane, ok := bestLane(f, r, a.cube.NodePort(), 0, cubeVCs)
+		return a.cube.NodePort(), lane, ok
+	}
+	d := lowestDiffDim(a.cube, r, dst)
+	dir := a.cube.DeterministicDir(r, dst, d)
+	port := topology.PortOf(d, dir)
+	class := int(info.RouteBits>>uint(d)) & 1
+	lane, ok := bestLane(f, r, port, class*detNetLanes, class*detNetLanes+detNetLanes)
+	if !ok {
+		return 0, 0, false
+	}
+	if a.cube.CrossesWrap(r, d, dir) {
+		info.RouteBits |= 1 << uint(d)
+	}
+	return port, lane, true
+}
+
+// lowestDiffDim returns the lowest dimension in which cur and dst differ;
+// it must not be called with cur == dst.
+func lowestDiffDim(c *topology.Cube, cur, dst int) int {
+	for d := 0; d < c.N; d++ {
+		if c.Digit(cur, d) != c.Digit(dst, d) {
+			return d
+		}
+	}
+	panic(fmt.Sprintf("routing: lowestDiffDim(%d, %d) with equal nodes", cur, dst))
+}
+
+var _ wormhole.RoutingAlgorithm = (*DOR)(nil)

@@ -1,0 +1,114 @@
+package routing
+
+import (
+	"smart/internal/topology"
+	"smart/internal/wormhole"
+)
+
+// Duato is the minimal adaptive algorithm of §3 built on Duato's
+// methodology: four virtual channels per link, two adaptive channels on
+// which packets may follow any minimal path, and two deterministic escape
+// channels used when the adaptive choice is limited by contention. The
+// escape channels follow dimension-order routing with the two-class
+// wrap-around discipline, so they form a connected, deadlock-free
+// subnetwork; because a packet in an escape channel may re-enter the
+// adaptive channels at the next switch, the channel allocation policy is
+// non monotonic. The routing freedom is F = 6: four adaptive channels in
+// the two minimal directions plus the two deterministic channels.
+type Duato struct {
+	cube *topology.Cube
+	// tie rotates the starting point of the candidate scan per router for
+	// fair tie-breaking among equally loaded adaptive ports.
+	tie []int
+	// portBuf is the candidate scratch buffer; a fabric calls Route from
+	// a single goroutine, so reusing it avoids a per-decision allocation
+	// on the simulator's hottest path.
+	portBuf []int
+}
+
+// NewDuato returns the adaptive cube algorithm.
+func NewDuato(cube *topology.Cube) *Duato {
+	return &Duato{
+		cube:    cube,
+		tie:     make([]int, cube.Routers()),
+		portBuf: make([]int, 0, 2*cube.N),
+	}
+}
+
+// Name implements wormhole.RoutingAlgorithm.
+func (a *Duato) Name() string { return "duato" }
+
+// VCs implements wormhole.RoutingAlgorithm.
+func (a *Duato) VCs() int { return cubeVCs }
+
+// Route implements wormhole.RoutingAlgorithm.
+func (a *Duato) Route(f *wormhole.Fabric, r, inPort, inLane int, pkt wormhole.PacketID) (int, int, bool) {
+	info := f.Packet(pkt)
+	dst := int(info.Dst)
+	if r == dst {
+		lane, ok := bestLane(f, r, a.cube.NodePort(), 0, cubeVCs)
+		return a.cube.NodePort(), lane, ok
+	}
+
+	// Adaptive channels first: any output port on a minimal path, scored
+	// by the number of free adaptive lanes, scan origin rotated for
+	// fairness.
+	ports := minimalPorts(a.cube, r, dst, a.portBuf[:0])
+	start := a.tie[r]
+	a.tie[r]++
+	bestPort, bestFree := -1, 0
+	for i := 0; i < len(ports); i++ {
+		port := ports[(start+i)%len(ports)]
+		if free := f.FreeLanes(r, port, 0, duatoAdaptiveLanes); free > bestFree {
+			bestPort, bestFree = port, free
+		}
+	}
+	if bestPort >= 0 {
+		lane, ok := bestLane(f, r, bestPort, 0, duatoAdaptiveLanes)
+		if ok {
+			a.noteWrap(info, r, bestPort)
+			return bestPort, lane, true
+		}
+	}
+
+	// Escape channel: the dimension-order hop in the class given by the
+	// packet's wrap-around history on that dimension.
+	d := lowestDiffDim(a.cube, r, dst)
+	dir := a.cube.DeterministicDir(r, dst, d)
+	port := topology.PortOf(d, dir)
+	class := int(info.RouteBits>>uint(d)) & 1
+	lane := duatoEscapeBase + class
+	if !f.OutLaneFree(r, port, lane) {
+		return 0, 0, false
+	}
+	a.noteWrap(info, r, port)
+	return port, lane, true
+}
+
+// noteWrap records a wrap-around crossing in the packet's per-dimension
+// class bits; the escape discipline consults them at later switches.
+func (a *Duato) noteWrap(info *wormhole.PacketInfo, r, port int) {
+	d, dir := a.cube.DimDirOf(port)
+	if a.cube.CrossesWrap(r, d, dir) {
+		info.RouteBits |= 1 << uint(d)
+	}
+}
+
+// minimalPorts lists the output ports lying on a minimal path from cur to
+// dst — one or (at the half-way point of an even ring) two directions for
+// every dimension whose coordinates differ — appending into the provided
+// buffer.
+func minimalPorts(c *topology.Cube, cur, dst int, ports []int) []int {
+	for d := 0; d < c.N; d++ {
+		plus, minus := c.MinimalDirs(cur, dst, d)
+		if plus {
+			ports = append(ports, topology.PortOf(d, topology.Plus))
+		}
+		if minus {
+			ports = append(ports, topology.PortOf(d, topology.Minus))
+		}
+	}
+	return ports
+}
+
+var _ wormhole.RoutingAlgorithm = (*Duato)(nil)

@@ -1,0 +1,103 @@
+package routing
+
+import (
+	"testing"
+
+	"smart/internal/sim"
+	"smart/internal/topology"
+	"smart/internal/traffic"
+	"smart/internal/wormhole"
+)
+
+// TestInvariantsUnderAllAlgorithms drives every routing discipline with
+// bursty traffic while checking the fabric's structural invariants
+// (credit conservation, binding reciprocity) every cycle — the deepest
+// correctness net in the suite.
+func TestInvariantsUnderAllAlgorithms(t *testing.T) {
+	type build func() (topology.Topology, wormhole.RoutingAlgorithm)
+	builds := map[string]build{
+		"tree-1vc": func() (topology.Topology, wormhole.RoutingAlgorithm) {
+			tr, _ := topology.NewTree(4, 2)
+			a, _ := NewTreeAdaptive(tr, 1)
+			return tr, a
+		},
+		"tree-4vc": func() (topology.Topology, wormhole.RoutingAlgorithm) {
+			tr, _ := topology.NewTree(4, 2)
+			a, _ := NewTreeAdaptive(tr, 4)
+			return tr, a
+		},
+		"cube-dor": func() (topology.Topology, wormhole.RoutingAlgorithm) {
+			c, _ := topology.NewCube(4, 2)
+			return c, NewDOR(c)
+		},
+		"cube-duato": func() (topology.Topology, wormhole.RoutingAlgorithm) {
+			c, _ := topology.NewCube(4, 2)
+			return c, NewDuato(c)
+		},
+		"mesh-duato": func() (topology.Topology, wormhole.RoutingAlgorithm) {
+			c, _ := topology.NewMesh(4, 2)
+			return c, NewDuato(c)
+		},
+	}
+	for name, mk := range builds {
+		t.Run(name, func(t *testing.T) {
+			top, alg := mk()
+			f, err := wormhole.NewFabric(top, wormhole.Config{
+				VCs: alg.VCs(), BufDepth: 4, PacketFlits: 8, InjLanes: 1, WatchdogCycles: 20000,
+			}, alg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pattern, err := traffic.NewUniform(top.Nodes())
+			if err != nil {
+				t.Fatal(err)
+			}
+			inj, err := traffic.NewInjector(f, pattern, 0.08, 77)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e := sim.NewEngine()
+			inj.Register(e)
+			f.Register(e)
+			for cycle := 0; cycle < 1500; cycle++ {
+				e.Step()
+				if err := f.CheckInvariants(); err != nil {
+					t.Fatalf("cycle %d: %v", cycle, err)
+				}
+			}
+			inj.Stop()
+			for !f.Drained() {
+				e.Step()
+				if err := f.CheckInvariants(); err != nil {
+					t.Fatalf("drain: %v", err)
+				}
+				if e.Cycle() > 200000 {
+					t.Fatal("drain did not complete")
+				}
+			}
+		})
+	}
+}
+
+// TestDrainedAsEngineStopCondition wires fabric drainage into the engine
+// stop machinery.
+func TestDrainedAsEngineStopCondition(t *testing.T) {
+	tr, _ := topology.NewTree(4, 2)
+	alg, _ := NewTreeAdaptive(tr, 2)
+	f, err := wormhole.NewFabric(tr, wormhole.Config{VCs: 2, BufDepth: 4, PacketFlits: 8, InjLanes: 1}, alg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := sim.NewEngine()
+	f.Register(e)
+	f.EnqueuePacket(0, 15, 0)
+	f.EnqueuePacket(3, 12, 0)
+	e.AddStop(func(int64) bool { return f.Drained() })
+	stopped := e.Run(100000)
+	if stopped == 100000 {
+		t.Fatal("stop condition never fired")
+	}
+	if !f.Drained() {
+		t.Fatal("engine stopped before drainage")
+	}
+}

@@ -1,0 +1,162 @@
+// Package routing implements the paper's three routing disciplines: the
+// minimal adaptive algorithm for k-ary n-trees with one, two or four
+// virtual channels (§2), dimension-order deterministic routing for k-ary
+// n-cubes with two virtual networks (§3, Dally-Seitz), and the minimal
+// adaptive algorithm with escape channels for k-ary n-cubes (§3, Duato's
+// methodology with non-monotonic channel re-entry).
+package routing
+
+import (
+	"fmt"
+
+	"smart/internal/topology"
+	"smart/internal/wormhole"
+)
+
+// AscentPolicy selects how the ascending phase chooses among the k up
+// links, all of which reach a nearest common ancestor. The paper's
+// algorithm uses LeastLoaded; the other policies ablate that design
+// choice.
+type AscentPolicy int
+
+const (
+	// LeastLoaded picks the up link with the maximum number of free
+	// virtual channels, with a fair rotating tie-break (§2).
+	LeastLoaded AscentPolicy = iota
+	// RoundRobin cycles through the up links regardless of load,
+	// skipping links with no free lane.
+	RoundRobin
+	// DigitAligned always takes the up port named by the source's digit
+	// at the current level — the oblivious assignment that routes the
+	// congestion-free permutations optimally, at the cost of all
+	// adaptivity under random traffic.
+	DigitAligned
+)
+
+// String names the policy for labels.
+func (p AscentPolicy) String() string {
+	switch p {
+	case LeastLoaded:
+		return "least-loaded"
+	case RoundRobin:
+		return "round-robin"
+	case DigitAligned:
+		return "digit-aligned"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// TreeAdaptive is the fat-tree algorithm of §2: a packet first ascends
+// adaptively to one of the nearest common ancestors of source and
+// destination, then descends deterministically. In the ascending phase it
+// picks the least-loaded up link — the one with the maximum number of free
+// virtual channels — with a fair (rotating) choice among links in a
+// similar state. Conflicts can arise only in the descending phase.
+type TreeAdaptive struct {
+	tree   *topology.Tree
+	vcs    int
+	policy AscentPolicy
+	// tie rotates the starting point of the up-link scan per switch so
+	// that ties are broken fairly over time.
+	tie []int
+}
+
+// NewTreeAdaptive returns the adaptive fat-tree algorithm using the given
+// number of virtual channels per link (the paper evaluates 1, 2 and 4).
+func NewTreeAdaptive(tree *topology.Tree, vcs int) (*TreeAdaptive, error) {
+	return NewTreeAdaptivePolicy(tree, vcs, LeastLoaded)
+}
+
+// NewTreeAdaptivePolicy returns the fat-tree algorithm with an explicit
+// ascent policy; the ablation harness compares the three.
+func NewTreeAdaptivePolicy(tree *topology.Tree, vcs int, policy AscentPolicy) (*TreeAdaptive, error) {
+	if vcs < 1 {
+		return nil, fmt.Errorf("routing: tree adaptive needs at least 1 virtual channel, got %d", vcs)
+	}
+	if policy < LeastLoaded || policy > DigitAligned {
+		return nil, fmt.Errorf("routing: unknown ascent policy %d", policy)
+	}
+	return &TreeAdaptive{tree: tree, vcs: vcs, policy: policy, tie: make([]int, tree.Routers())}, nil
+}
+
+// Name implements wormhole.RoutingAlgorithm.
+func (a *TreeAdaptive) Name() string {
+	if a.policy != LeastLoaded {
+		return fmt.Sprintf("adaptive-%dvc-%s", a.vcs, a.policy)
+	}
+	return fmt.Sprintf("adaptive-%dvc", a.vcs)
+}
+
+// VCs implements wormhole.RoutingAlgorithm.
+func (a *TreeAdaptive) VCs() int { return a.vcs }
+
+// Route implements wormhole.RoutingAlgorithm.
+func (a *TreeAdaptive) Route(f *wormhole.Fabric, r, inPort, inLane int, pkt wormhole.PacketID) (int, int, bool) {
+	info := f.Packet(pkt)
+	dst := int(info.Dst)
+	level := a.tree.SwitchLevel(r)
+	if !a.tree.IsAncestor(r, dst) {
+		// Ascending phase: any of the k up links reaches a nearest common
+		// ancestor; the policy selects one.
+		k := a.tree.K
+		bestPort := -1
+		switch a.policy {
+		case LeastLoaded:
+			start := a.tie[r]
+			a.tie[r] = (start + 1) % k
+			bestFree := 0
+			for i := 0; i < k; i++ {
+				port := a.tree.UpPort((start + i) % k)
+				if free := f.FreeLanes(r, port, 0, a.vcs); free > bestFree {
+					bestPort, bestFree = port, free
+				}
+			}
+		case RoundRobin:
+			start := a.tie[r]
+			a.tie[r] = (start + 1) % k
+			for i := 0; i < k; i++ {
+				port := a.tree.UpPort((start + i) % k)
+				if f.FreeLanes(r, port, 0, a.vcs) > 0 {
+					bestPort = port
+					break
+				}
+			}
+		case DigitAligned:
+			port := a.tree.UpPort(a.tree.Digit(int(info.Src), a.tree.SwitchLevel(r)))
+			if f.FreeLanes(r, port, 0, a.vcs) > 0 {
+				bestPort = port
+			}
+		}
+		if bestPort < 0 {
+			return 0, 0, false
+		}
+		lane, ok := bestLane(f, r, bestPort, 0, a.vcs)
+		return bestPort, lane, ok
+	}
+	// Descending phase (the switch is an ancestor of the destination,
+	// first reached at the NCA level): the down port is forced by the
+	// destination digits; only the lane choice remains. At level 0 the
+	// down port is the destination's node port.
+	port := a.tree.DownPortTo(level, dst)
+	lane, ok := bestLane(f, r, port, 0, a.vcs)
+	return port, lane, ok
+}
+
+// bestLane picks the free lane of (r, port) within [lo, hi) with the most
+// credits, preferring lower indices on ties. It reports false when no lane
+// is free.
+func bestLane(f *wormhole.Fabric, r, port, lo, hi int) (int, bool) {
+	best, bestCredits := -1, -1
+	for l := lo; l < hi; l++ {
+		if !f.OutLaneFree(r, port, l) {
+			continue
+		}
+		if c := f.OutLaneCredits(r, port, l); c > bestCredits {
+			best, bestCredits = l, c
+		}
+	}
+	return best, best >= 0
+}
+
+var _ wormhole.RoutingAlgorithm = (*TreeAdaptive)(nil)

@@ -1,0 +1,109 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestRandomSizesValidate builds random small instances of every family
+// and runs the structural validator — reciprocal wiring, consistent
+// attachments — over each.
+func TestRandomSizesValidate(t *testing.T) {
+	check := func(kRaw, nRaw uint8) bool {
+		k := int(kRaw)%4 + 2 // 2..5
+		n := int(nRaw)%3 + 1 // 1..3
+		cube, err := NewCube(k, n)
+		if err != nil || Validate(cube) != nil {
+			return false
+		}
+		mesh, err := NewMesh(k, n)
+		if err != nil || Validate(mesh) != nil {
+			return false
+		}
+		tree, err := NewTree(k, n)
+		if err != nil || Validate(tree) != nil {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDistanceMetricProperties: for every family, Distance is symmetric,
+// zero exactly on the diagonal, and satisfies the triangle inequality
+// (all three are genuine metric axioms for minimal-path distances).
+func TestDistanceMetricProperties(t *testing.T) {
+	tops := []Topology{}
+	if c, err := NewCube(4, 2); err == nil {
+		tops = append(tops, c)
+	}
+	if m, err := NewMesh(4, 2); err == nil {
+		tops = append(tops, m)
+	}
+	if tr, err := NewTree(4, 2); err == nil {
+		tops = append(tops, tr)
+	}
+	for _, top := range tops {
+		n := top.Nodes()
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				dab := top.Distance(a, b)
+				if dab != top.Distance(b, a) {
+					t.Fatalf("%s: asymmetric at (%d,%d)", top.Name(), a, b)
+				}
+				if (dab == 0) != (a == b) {
+					t.Fatalf("%s: identity axiom broken at (%d,%d)", top.Name(), a, b)
+				}
+			}
+		}
+		// Triangle inequality on a sample (cubic scan is too slow).
+		for a := 0; a < n; a += 3 {
+			for b := 0; b < n; b += 5 {
+				for c := 0; c < n; c += 7 {
+					// NIC-to-NIC distances include injection/ejection at
+					// both ends, so relaying through c adds up to 2
+					// extra link traversals.
+					if top.Distance(a, b) > top.Distance(a, c)+top.Distance(c, b) {
+						t.Fatalf("%s: triangle inequality broken at (%d,%d,%d)", top.Name(), a, b, c)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTreeSwitchCountFormula: n * k^(n-1) switches for random sizes.
+func TestTreeSwitchCountFormula(t *testing.T) {
+	check := func(kRaw, nRaw uint8) bool {
+		k := int(kRaw)%4 + 2
+		n := int(nRaw)%4 + 1
+		tree, err := NewTree(k, n)
+		if err != nil {
+			return false
+		}
+		want, err := Pow(k, n-1)
+		if err != nil {
+			return false
+		}
+		return tree.Routers() == n*want
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCubeDistanceUpperBound: the torus diameter is n*floor(k/2) hops; no
+// NIC-to-NIC distance exceeds it plus the two node links.
+func TestCubeDistanceUpperBound(t *testing.T) {
+	cube := mustCube(t, 5, 2)
+	diameter := 2*2 + 2
+	for a := 0; a < cube.Nodes(); a++ {
+		for b := 0; b < cube.Nodes(); b++ {
+			if cube.Distance(a, b) > diameter {
+				t.Fatalf("distance(%d,%d) = %d exceeds diameter bound %d", a, b, cube.Distance(a, b), diameter)
+			}
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package trace
+
+import (
+	"fmt"
+
+	"smart/internal/topology"
+)
+
+// TreeNamer labels k-ary n-tree switches and ports.
+type TreeNamer struct {
+	Tree *topology.Tree
+}
+
+// RouterName implements RouterNamer.
+func (n TreeNamer) RouterName(router int) string {
+	return fmt.Sprintf("switch(level %d, label %d)", n.Tree.SwitchLevel(router), n.Tree.SwitchLabel(router))
+}
+
+// PortName implements RouterNamer.
+func (n TreeNamer) PortName(router, port int) string {
+	ports := n.Tree.RouterPorts(router)
+	if n.Tree.IsUpPort(port) {
+		return fmt.Sprintf("up %d", port-n.Tree.K)
+	}
+	if port < len(ports) && ports[port].Kind == topology.PortNode {
+		return fmt.Sprintf("node %d", ports[port].Peer)
+	}
+	return fmt.Sprintf("down %d", port)
+}
+
+// CubeNamer labels k-ary n-cube (or mesh) routers and ports.
+type CubeNamer struct {
+	Cube *topology.Cube
+}
+
+// RouterName implements RouterNamer.
+func (n CubeNamer) RouterName(router int) string {
+	coords := make([]int, n.Cube.N)
+	for d := range coords {
+		coords[d] = n.Cube.Digit(router, d)
+	}
+	return fmt.Sprintf("router%v", coords)
+}
+
+// PortName implements RouterNamer.
+func (n CubeNamer) PortName(router, port int) string {
+	if port == n.Cube.NodePort() {
+		return "node"
+	}
+	d, dir := n.Cube.DimDirOf(port)
+	sign := "+"
+	if dir == topology.Minus {
+		sign = "-"
+	}
+	return fmt.Sprintf("dim%d%s", d, sign)
+}
+
+// NamerFor picks the right namer for a topology.
+func NamerFor(top topology.Topology) (RouterNamer, error) {
+	switch t := top.(type) {
+	case *topology.Tree:
+		return TreeNamer{Tree: t}, nil
+	case *topology.Cube:
+		return CubeNamer{Cube: t}, nil
+	default:
+		return nil, fmt.Errorf("trace: no namer for topology %T", top)
+	}
+}

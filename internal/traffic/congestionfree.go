@@ -1,0 +1,72 @@
+package traffic
+
+import (
+	"fmt"
+
+	"smart/internal/topology"
+)
+
+// CongestionFree reports whether the permutation can be routed on the
+// k-ary n-tree with no two flows sharing a descending link — Heller's
+// congestion-free property, the class the paper's §8 identifies around
+// the complement pattern ("permutations that map a k-ary n-tree into
+// itself ... do not generate any congestion on the descending phase").
+//
+// The check uses the digit-aligned ascent (the label digit freed at each
+// level takes the source's same-index digit), which realizes a
+// conflict-free routing for the self-inverse digit permutations of the
+// class; a maximum per-link load of one under this assignment is a
+// constructive proof of congestion-freedom. The function also returns the
+// worst per-link flow count, which quantifies descending contention for
+// patterns that are not congestion-free (transpose reaches k^(n/2)-1 on a
+// 4-ary 4-tree).
+//
+// The pattern must be a permutation over the tree's nodes (fixed points,
+// which inject nothing, are allowed and skipped).
+func CongestionFree(t *topology.Tree, p Pattern) (bool, int, error) {
+	seen := make([]bool, t.Nodes())
+	for src := 0; src < t.Nodes(); src++ {
+		dst := p.Dest(src, nil)
+		if dst < 0 || dst >= t.Nodes() {
+			return false, 0, fmt.Errorf("traffic: %s maps %d outside the network", p.Name(), src)
+		}
+		if seen[dst] {
+			return false, 0, fmt.Errorf("traffic: %s is not a permutation (destination %d repeated)", p.Name(), dst)
+		}
+		seen[dst] = true
+	}
+
+	type link struct{ sw, port int }
+	load := map[link]int{}
+	worst := 0
+	for src := 0; src < t.Nodes(); src++ {
+		dst := p.Dest(src, nil)
+		if dst == src {
+			continue
+		}
+		m := t.NCALevel(src, dst)
+		// Digit-aligned ascent: label digit i is src's digit i for i < m
+		// and src's digit i+1 (== dst's digit i+1) for i >= m.
+		label := 0
+		for i := t.N - 2; i >= 0; i-- {
+			digit := t.Digit(src, i+1)
+			if i < m {
+				digit = t.Digit(src, i)
+			}
+			label = label*t.K + digit
+		}
+		sw := t.SwitchIndex(m, label)
+		for level := m; level >= 0; level-- {
+			port := t.DownPortTo(level, dst)
+			l := link{sw, port}
+			load[l]++
+			if load[l] > worst {
+				worst = load[l]
+			}
+			if level > 0 {
+				sw = t.RouterPorts(sw)[port].Peer
+			}
+		}
+	}
+	return worst <= 1, worst, nil
+}

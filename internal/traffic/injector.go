@@ -1,0 +1,82 @@
+package traffic
+
+import (
+	"fmt"
+
+	"smart/internal/sim"
+	"smart/internal/wormhole"
+)
+
+// Injector is the open-loop packet generation process of §4: every cycle
+// each node creates a packet with a fixed probability (a Bernoulli
+// process whose rate realizes the configured offered load) and a
+// destination drawn from the traffic pattern. Generated packets queue at
+// the source; the paper measures offered versus accepted bandwidth, so
+// the queue is unbounded and generation never throttles.
+type Injector struct {
+	fabric  *wormhole.Fabric
+	pattern Pattern
+	// prob is the per-node, per-cycle packet creation probability.
+	prob float64
+	rngs []*sim.RNG
+	// enabled gates generation; draining a network at the end of a
+	// measurement turns it off.
+	enabled bool
+	// skipped counts draws that were permutation fixed points (no packet
+	// generated, matching the paper's non-injecting palindrome nodes).
+	skipped int64
+}
+
+// NewInjector builds an injection process over the fabric's nodes. The
+// rate is given in packets per node per cycle; every node gets an
+// independent RNG stream derived from seed, so results are reproducible
+// and insensitive to iteration order.
+func NewInjector(f *wormhole.Fabric, p Pattern, packetRate float64, seed uint64) (*Injector, error) {
+	if packetRate < 0 || packetRate > 1 {
+		return nil, fmt.Errorf("traffic: packet rate %v outside [0,1] packets/cycle", packetRate)
+	}
+	nodes := f.Top.Nodes()
+	inj := &Injector{fabric: f, pattern: p, prob: packetRate, enabled: true}
+	inj.rngs = make([]*sim.RNG, nodes)
+	sm := sim.NewSplitMix64(seed)
+	for n := range inj.rngs {
+		inj.rngs[n] = sim.NewRNG(sm.Next())
+	}
+	return inj, nil
+}
+
+// Register installs the generation stage on the engine. It must run
+// before the fabric's injection stage if packets are to start injecting
+// in their creation cycle; the fabric's Register documents the canonical
+// order.
+func (inj *Injector) Register(e *sim.Engine) {
+	e.RegisterFunc("traffic", inj.tick)
+}
+
+// Stop turns generation off; the network then drains.
+func (inj *Injector) Stop() { inj.enabled = false }
+
+// Start turns generation back on.
+func (inj *Injector) Start() { inj.enabled = true }
+
+// Skipped returns the number of fixed-point draws that generated no
+// packet.
+func (inj *Injector) Skipped() int64 { return inj.skipped }
+
+func (inj *Injector) tick(cycle int64) {
+	if !inj.enabled {
+		return
+	}
+	for n := range inj.rngs {
+		rng := inj.rngs[n]
+		if !rng.Bernoulli(inj.prob) {
+			continue
+		}
+		dst := inj.pattern.Dest(n, rng)
+		if dst == n {
+			inj.skipped++
+			continue
+		}
+		inj.fabric.EnqueuePacket(n, dst, cycle)
+	}
+}

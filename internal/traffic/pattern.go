@@ -1,0 +1,145 @@
+// Package traffic implements the paper's synthetic benchmarks (§7):
+// uniform random traffic and the complement, bit-reversal and transpose
+// permutations, plus a set of extension patterns (tornado, perfect
+// shuffle, nearest neighbour, hotspot) used by the ablation harness. It
+// also provides the open-loop Bernoulli injection process that drives a
+// wormhole fabric at a configured offered load.
+package traffic
+
+import (
+	"fmt"
+	"math/bits"
+
+	"smart/internal/sim"
+)
+
+// Pattern maps a source node to a destination. Permutation patterns
+// ignore the RNG; the uniform pattern consumes it. A Pattern returning
+// src means the node generates no packet for that draw (the paper's
+// palindrome nodes under bit-reversal "do not inject any packet into the
+// network").
+type Pattern interface {
+	// Name returns the benchmark's identifier ("uniform", "complement",
+	// "transpose", "bitrev", ...).
+	Name() string
+	// Dest returns the destination for a packet sourced at src.
+	Dest(src int, rng *sim.RNG) int
+}
+
+// logNodes returns log2(nodes), rejecting non-powers of two: the paper's
+// bit-string patterns are defined on binary addresses (it assumes k is a
+// power of two).
+func logNodes(nodes int) (int, error) {
+	if nodes < 2 || nodes&(nodes-1) != 0 {
+		return 0, fmt.Errorf("traffic: bit-permutation patterns need a power-of-two node count, got %d", nodes)
+	}
+	return bits.TrailingZeros(uint(nodes)), nil
+}
+
+// Uniform draws destinations uniformly among all other nodes, the
+// standard benchmark "representative of well-balanced shared memory
+// computations". Self-destinations are redrawn so the offered load is
+// exactly the configured rate.
+type Uniform struct {
+	nodes int
+}
+
+// NewUniform returns uniform traffic over the given node count.
+func NewUniform(nodes int) (*Uniform, error) {
+	if nodes < 2 {
+		return nil, fmt.Errorf("traffic: uniform traffic needs at least 2 nodes, got %d", nodes)
+	}
+	return &Uniform{nodes: nodes}, nil
+}
+
+// Name implements Pattern.
+func (u *Uniform) Name() string { return "uniform" }
+
+// Dest implements Pattern.
+func (u *Uniform) Dest(src int, rng *sim.RNG) int {
+	// Draw from [0, nodes-1) and skip over src: uniform over the other
+	// nodes without a rejection loop.
+	d := rng.Intn(u.nodes - 1)
+	if d >= src {
+		d++
+	}
+	return d
+}
+
+// Complement sends from a_0 a_1 ... a_(b-1) to the bitwise complement.
+// Every packet crosses the network bisection, which makes it the paper's
+// stress test of the cube's bisection bandwidth; on the k-ary n-tree it is
+// congestion-free (§8).
+type Complement struct {
+	mask int
+}
+
+// NewComplement returns the complement permutation over a power-of-two
+// node count.
+func NewComplement(nodes int) (*Complement, error) {
+	if _, err := logNodes(nodes); err != nil {
+		return nil, err
+	}
+	return &Complement{mask: nodes - 1}, nil
+}
+
+// Name implements Pattern.
+func (c *Complement) Name() string { return "complement" }
+
+// Dest implements Pattern.
+func (c *Complement) Dest(src int, _ *sim.RNG) int { return ^src & c.mask }
+
+// BitReversal sends a_0 a_1 ... a_(b-1) to a_(b-1) ... a_1 a_0. Nodes
+// whose address is a palindrome are fixed points and inject nothing; on a
+// 256-node network there are 16 of them (§9).
+type BitReversal struct {
+	bits int
+}
+
+// NewBitReversal returns the bit-reversal permutation over a power-of-two
+// node count.
+func NewBitReversal(nodes int) (*BitReversal, error) {
+	b, err := logNodes(nodes)
+	if err != nil {
+		return nil, err
+	}
+	return &BitReversal{bits: b}, nil
+}
+
+// Name implements Pattern.
+func (r *BitReversal) Name() string { return "bitrev" }
+
+// Dest implements Pattern.
+func (r *BitReversal) Dest(src int, _ *sim.RNG) int {
+	return int(bits.Reverse64(uint64(src)) >> (64 - uint(r.bits)))
+}
+
+// Transpose sends the address a_(b/2) ... a_(b-1) a_0 ... a_(b/2-1) — the
+// two halves of the bit string swapped, i.e. the transposition of a
+// sqrt(N) x sqrt(N) matrix. On the cube it reflects every packet across
+// the diagonal, creating a continuous area of congestion there (§9).
+// Addresses with equal halves are fixed points and inject nothing.
+type Transpose struct {
+	half, mask int
+}
+
+// NewTranspose returns the transpose permutation; the bit-string length
+// must be even (the paper assumes n even).
+func NewTranspose(nodes int) (*Transpose, error) {
+	b, err := logNodes(nodes)
+	if err != nil {
+		return nil, err
+	}
+	if b%2 != 0 {
+		return nil, fmt.Errorf("traffic: transpose needs an even number of address bits, got %d", b)
+	}
+	return &Transpose{half: b / 2, mask: 1<<(b/2) - 1}, nil
+}
+
+// Name implements Pattern.
+func (t *Transpose) Name() string { return "transpose" }
+
+// Dest implements Pattern.
+func (t *Transpose) Dest(src int, _ *sim.RNG) int {
+	return (src >> uint(t.half)) | (src&t.mask)<<uint(t.half)
+}

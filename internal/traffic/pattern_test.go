@@ -1,0 +1,322 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"smart/internal/sim"
+	"smart/internal/topology"
+)
+
+func isPermutation(t *testing.T, p Pattern, nodes int) {
+	t.Helper()
+	seen := make([]bool, nodes)
+	for src := 0; src < nodes; src++ {
+		dst := p.Dest(src, nil)
+		if dst < 0 || dst >= nodes {
+			t.Fatalf("%s: Dest(%d) = %d out of range", p.Name(), src, dst)
+		}
+		if seen[dst] {
+			t.Fatalf("%s: destination %d hit twice", p.Name(), dst)
+		}
+		seen[dst] = true
+	}
+}
+
+func fixedPoints(p Pattern, nodes int) int {
+	count := 0
+	for src := 0; src < nodes; src++ {
+		if p.Dest(src, nil) == src {
+			count++
+		}
+	}
+	return count
+}
+
+func TestComplementIsInvolutionWithoutFixedPoints(t *testing.T) {
+	for _, nodes := range []int{16, 64, 256} {
+		c, err := NewComplement(nodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		isPermutation(t, c, nodes)
+		if fp := fixedPoints(c, nodes); fp != 0 {
+			t.Fatalf("complement over %d has %d fixed points", nodes, fp)
+		}
+		for src := 0; src < nodes; src++ {
+			if c.Dest(c.Dest(src, nil), nil) != src {
+				t.Fatalf("complement not an involution at %d", src)
+			}
+		}
+	}
+}
+
+func TestComplementSpotValues(t *testing.T) {
+	c, _ := NewComplement(256)
+	cases := map[int]int{0: 255, 255: 0, 0xAA: 0x55, 1: 254}
+	for src, want := range cases {
+		if got := c.Dest(src, nil); got != want {
+			t.Errorf("complement(%d) = %d, want %d", src, got, want)
+		}
+	}
+}
+
+// TestComplementCrossesBisection checks the property the paper leans on:
+// every complement packet crosses the bisection of the cube (the source
+// and destination lie in opposite halves of the top dimension).
+func TestComplementCrossesBisection(t *testing.T) {
+	cube, _ := topology.NewCube(16, 2)
+	c, _ := NewComplement(256)
+	half := cube.K / 2
+	for src := 0; src < 256; src++ {
+		dst := c.Dest(src, nil)
+		srcHigh := cube.Digit(src, cube.N-1) >= half
+		dstHigh := cube.Digit(dst, cube.N-1) >= half
+		if srcHigh == dstHigh {
+			t.Fatalf("complement pair (%d,%d) stays in one half", src, dst)
+		}
+	}
+}
+
+func TestBitReversalInvolutionAndPalindromes(t *testing.T) {
+	r, err := NewBitReversal(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	isPermutation(t, r, 256)
+	for src := 0; src < 256; src++ {
+		if r.Dest(r.Dest(src, nil), nil) != src {
+			t.Fatalf("bit reversal not an involution at %d", src)
+		}
+	}
+	// The paper: "There are 16 nodes that have a palindrome bit string
+	// and do not inject any packet into the network."
+	if fp := fixedPoints(r, 256); fp != 16 {
+		t.Fatalf("bit reversal over 256 has %d palindromes, want 16", fp)
+	}
+}
+
+func TestBitReversalSpotValues(t *testing.T) {
+	r, _ := NewBitReversal(256)
+	cases := map[int]int{0: 0, 1: 128, 0x80: 0x01, 0x0F: 0xF0, 0xC3: 0xC3}
+	for src, want := range cases {
+		if got := r.Dest(src, nil); got != want {
+			t.Errorf("bitrev(%#x) = %#x, want %#x", src, got, want)
+		}
+	}
+}
+
+func TestTransposeInvolutionAndFixedPoints(t *testing.T) {
+	tr, err := NewTranspose(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	isPermutation(t, tr, 256)
+	for src := 0; src < 256; src++ {
+		if tr.Dest(tr.Dest(src, nil), nil) != src {
+			t.Fatalf("transpose not an involution at %d", src)
+		}
+	}
+	// Addresses with equal halves (k^(n/2) = 16 of them) are fixed.
+	if fp := fixedPoints(tr, 256); fp != 16 {
+		t.Fatalf("transpose over 256 has %d fixed points, want 16", fp)
+	}
+}
+
+func TestTransposeSpotValues(t *testing.T) {
+	tr, _ := NewTranspose(256)
+	cases := map[int]int{0x12: 0x21, 0xAB: 0xBA, 0x55: 0x55, 0xF0: 0x0F}
+	for src, want := range cases {
+		if got := tr.Dest(src, nil); got != want {
+			t.Errorf("transpose(%#x) = %#x, want %#x", src, got, want)
+		}
+	}
+}
+
+func TestTransposeRejectsOddBits(t *testing.T) {
+	if _, err := NewTranspose(32); err == nil {
+		t.Fatal("transpose accepted 5-bit addresses")
+	}
+}
+
+func TestPatternsRejectNonPowerOfTwo(t *testing.T) {
+	for _, nodes := range []int{0, 1, 3, 12, 100} {
+		if _, err := NewComplement(nodes); err == nil {
+			t.Errorf("complement accepted %d nodes", nodes)
+		}
+		if _, err := NewBitReversal(nodes); err == nil {
+			t.Errorf("bit reversal accepted %d nodes", nodes)
+		}
+	}
+}
+
+func TestUniformNeverSelf(t *testing.T) {
+	u, err := NewUniform(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRNG(1)
+	for i := 0; i < 100000; i++ {
+		src := i % 64
+		if u.Dest(src, rng) == src {
+			t.Fatal("uniform produced a self destination")
+		}
+	}
+}
+
+func TestUniformCoversAllOthersEvenly(t *testing.T) {
+	u, _ := NewUniform(16)
+	rng := sim.NewRNG(2)
+	counts := make([]int, 16)
+	const n = 150000
+	for i := 0; i < n; i++ {
+		counts[u.Dest(5, rng)]++
+	}
+	if counts[5] != 0 {
+		t.Fatal("self destination drawn")
+	}
+	want := float64(n) / 15
+	for dst, c := range counts {
+		if dst == 5 {
+			continue
+		}
+		if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+			t.Fatalf("destination %d drawn %d times, want ~%.0f", dst, c, want)
+		}
+	}
+}
+
+func TestUniformRejectsTinyNetworks(t *testing.T) {
+	if _, err := NewUniform(1); err == nil {
+		t.Fatal("uniform accepted a single-node network")
+	}
+}
+
+func TestShuffleIsPermutation(t *testing.T) {
+	s, err := NewShuffle(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	isPermutation(t, s, 64)
+	// A cyclic shift composed bits-times is the identity.
+	for src := 0; src < 64; src++ {
+		x := src
+		for i := 0; i < 6; i++ {
+			x = s.Dest(x, nil)
+		}
+		if x != src {
+			t.Fatalf("shuffle^6 not identity at %d", src)
+		}
+	}
+	if got := s.Dest(1, nil); got != 2 {
+		t.Fatalf("shuffle(1) = %d, want 2", got)
+	}
+	if got := s.Dest(32, nil); got != 1 {
+		t.Fatalf("shuffle(32) = %d, want 1 (wrap of the high bit)", got)
+	}
+}
+
+func TestNeighborPattern(t *testing.T) {
+	n, err := NewNeighbor(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	isPermutation(t, n, 10)
+	if n.Dest(9, nil) != 0 || n.Dest(3, nil) != 4 {
+		t.Fatal("neighbor destinations wrong")
+	}
+	if _, err := NewNeighbor(1); err == nil {
+		t.Fatal("neighbor accepted one node")
+	}
+}
+
+func TestTornadoHalfwayMinusOne(t *testing.T) {
+	cube, _ := topology.NewCube(8, 2)
+	tn := NewTornado(cube)
+	for src := 0; src < cube.Nodes(); src++ {
+		dst := tn.Dest(src, nil)
+		if cube.Digit(dst, 1) != cube.Digit(src, 1) {
+			t.Fatalf("tornado moved in dim 1 at %d", src)
+		}
+		want := (cube.Digit(src, 0) + 3) % 8
+		if cube.Digit(dst, 0) != want {
+			t.Fatalf("tornado(%d) dim-0 digit %d, want %d", src, cube.Digit(dst, 0), want)
+		}
+	}
+}
+
+func TestHotspotFractionAndValidation(t *testing.T) {
+	h, err := NewHotspot(64, 0, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRNG(3)
+	hot := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if h.Dest(17, rng) == 0 {
+			hot++
+		}
+	}
+	// 25% directed plus 1/63 of the remaining uniform share.
+	want := 0.25 + 0.75/63
+	got := float64(hot) / n
+	if math.Abs(got-want) > 0.01 {
+		t.Fatalf("hotspot fraction %v, want ~%v", got, want)
+	}
+	if _, err := NewHotspot(64, 64, 0.1); err == nil {
+		t.Fatal("accepted out-of-range hot node")
+	}
+	if _, err := NewHotspot(64, 0, 1.5); err == nil {
+		t.Fatal("accepted fraction > 1")
+	}
+	if _, err := NewHotspot(64, 0, -0.1); err == nil {
+		t.Fatal("accepted negative fraction")
+	}
+}
+
+func TestPatternNames(t *testing.T) {
+	u, _ := NewUniform(4)
+	c, _ := NewComplement(4)
+	b, _ := NewBitReversal(4)
+	tr, _ := NewTranspose(4)
+	s, _ := NewShuffle(4)
+	nb, _ := NewNeighbor(4)
+	h, _ := NewHotspot(4, 0, 0.1)
+	names := map[Pattern]string{u: "uniform", c: "complement", b: "bitrev", tr: "transpose", s: "shuffle", nb: "neighbor", h: "hotspot"}
+	for p, want := range names {
+		if p.Name() != want {
+			t.Errorf("Name() = %q, want %q", p.Name(), want)
+		}
+	}
+}
+
+func TestPermutationsAreBijectionsProperty(t *testing.T) {
+	// Property: for any power-of-two size, complement, bitrev and shuffle
+	// are bijections (transpose needs even bits and is covered above).
+	check := func(exp uint8) bool {
+		bits := int(exp)%6 + 2 // 4..128 nodes
+		nodes := 1 << bits
+		c, err1 := NewComplement(nodes)
+		r, err2 := NewBitReversal(nodes)
+		s, err3 := NewShuffle(nodes)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		for _, p := range []Pattern{c, r, s} {
+			seen := make([]bool, nodes)
+			for src := 0; src < nodes; src++ {
+				d := p.Dest(src, nil)
+				if d < 0 || d >= nodes || seen[d] {
+					return false
+				}
+				seen[d] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,41 @@
+package traffic
+
+import (
+	"testing"
+
+	"smart/internal/routing"
+	"smart/internal/sim"
+	"smart/internal/topology"
+	"smart/internal/wormhole"
+)
+
+// simulateTreeAccepted runs the pattern on the given tree with the 1-VC
+// adaptive algorithm at the given offered load (fraction of the 1
+// flit/cycle tree capacity) and returns the accepted fraction.
+func simulateTreeAccepted(t *testing.T, tr *topology.Tree, pattern Pattern, load float64) float64 {
+	t.Helper()
+	alg, err := routing.NewTreeAdaptive(tr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const flits = 8
+	f, err := wormhole.NewFabric(tr, wormhole.Config{
+		VCs: 1, BufDepth: 4, PacketFlits: flits, InjLanes: 1, WatchdogCycles: 20000,
+	}, alg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj, err := NewInjector(f, pattern, load/flits, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := sim.NewEngine()
+	inj.Register(e)
+	f.Register(e)
+	const warmup, horizon = 500, 4000
+	e.Run(warmup)
+	start := f.Counters().FlitsDelivered
+	e.Run(horizon)
+	delivered := f.Counters().FlitsDelivered - start
+	return float64(delivered) / float64(horizon-warmup) / float64(tr.Nodes())
+}

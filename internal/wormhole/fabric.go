@@ -1,0 +1,723 @@
+package wormhole
+
+import (
+	"fmt"
+
+	"smart/internal/sim"
+	"smart/internal/topology"
+)
+
+// Config sets the microarchitectural parameters of the fabric.
+type Config struct {
+	// VCs is the number of virtual channels multiplexed on each physical
+	// link (1, 2 or 4 in the paper).
+	VCs int
+	// BufDepth is the capacity, in flits, of each input and output lane
+	// (4 in the paper).
+	BufDepth int
+	// PacketFlits is the packet length in flits: the paper's 64-byte
+	// packets are 32 flits on the tree (2-byte flits) and 16 on the cube
+	// (4-byte flits).
+	PacketFlits int
+	// InjLanes is the number of lanes on the injection channel. The paper
+	// uses a single injection channel between processor and router
+	// (source throttling, §3); the ablation harness can raise it.
+	InjLanes int
+	// WatchdogCycles, when positive, makes the fabric panic if no flit
+	// advances for that many consecutive cycles while flits are in
+	// flight — a deadlock detector for tests. Zero disables it.
+	WatchdogCycles int64
+	// StoreAndForward, when true, gates routing on the whole packet
+	// being buffered in the input lane — the pre-wormhole switching
+	// discipline whose distance-times-length latency wormhole routing
+	// was invented to avoid. It requires BufDepth >= PacketFlits. (The
+	// middle ground, virtual cut-through, is wormhole with BufDepth >=
+	// PacketFlits and no gate.)
+	StoreAndForward bool
+	// RouteEvery stretches the routing stage: a switch routes at most
+	// one header every RouteEvery cycles (default 1). The ablation
+	// harness uses it to de-equalize the pipeline and emulate a slower
+	// routing decision (a larger T_routing in cost-model terms).
+	RouteEvery int
+	// LinkCycles is the flit flight time across a physical link in
+	// cycles (default 1). Values above one model pipelined long wires:
+	// a link still accepts one flit per cycle (wire pipelining keeps the
+	// throughput) but each flit arrives LinkCycles later — the
+	// alternative to the paper's treatment of the fat-tree's medium
+	// wires, which folds the whole wire delay into a slower clock.
+	LinkCycles int
+}
+
+func (c Config) validate() error {
+	if c.VCs < 1 || c.VCs >= packRadix {
+		return fmt.Errorf("wormhole: VCs must be in [1,%d), got %d", packRadix, c.VCs)
+	}
+	if c.BufDepth < 1 {
+		return fmt.Errorf("wormhole: BufDepth must be positive, got %d", c.BufDepth)
+	}
+	if c.PacketFlits < 1 {
+		return fmt.Errorf("wormhole: PacketFlits must be positive, got %d", c.PacketFlits)
+	}
+	if c.InjLanes < 1 || c.InjLanes >= packRadix {
+		return fmt.Errorf("wormhole: InjLanes must be in [1,%d), got %d", packRadix, c.InjLanes)
+	}
+	if c.StoreAndForward && c.BufDepth < c.PacketFlits {
+		return fmt.Errorf("wormhole: store-and-forward needs BufDepth >= PacketFlits (%d < %d)", c.BufDepth, c.PacketFlits)
+	}
+	if c.RouteEvery < 0 {
+		return fmt.Errorf("wormhole: RouteEvery must be non-negative, got %d", c.RouteEvery)
+	}
+	if c.LinkCycles < 0 {
+		return fmt.Errorf("wormhole: LinkCycles must be non-negative, got %d", c.LinkCycles)
+	}
+	return nil
+}
+
+// router is the per-switch state: input and output lanes per port, plus
+// the fair-arbitration pointers.
+type router struct {
+	in  [][]inLane  // [port][lane]
+	out [][]outLane // [port][lane]
+	// routeScan flattens the input (port, lane) pairs the routing stage
+	// scans; routeRR is the round-robin pointer into it.
+	routeScan []laneRef
+	routeRR   int
+	// linkRR is the per-output-port round-robin pointer over lanes.
+	linkRR []int
+}
+
+// nicLane is one injection stream of a NIC. With source throttling
+// (InjLanes == 1) a node has a single stream, so at most one packet is
+// entering the network at any time.
+type nicLane struct {
+	cur     PacketID
+	nextSeq int32
+	credit  int16
+}
+
+// nic is a processing node's network interface: an unbounded source queue
+// of generated packets and the injection stream(s) feeding the router's
+// injection lane(s). Ejection needs no state: the node consumes flits at
+// link rate.
+type nic struct {
+	queue []PacketID
+	lanes []nicLane
+}
+
+// Counters aggregates the fabric's running totals; metrics snapshot them
+// at the warm-up boundary and at the horizon.
+type Counters struct {
+	PacketsCreated   int64
+	PacketsInjected  int64
+	PacketsDelivered int64
+	FlitsInjected    int64
+	FlitsDelivered   int64
+}
+
+// Fabric is a complete simulated network: topology, routers, NICs and the
+// packet table, advanced one cycle at a time by the stages it registers on
+// a sim.Engine.
+type Fabric struct {
+	Top topology.Topology
+	Cfg Config
+	Alg RoutingAlgorithm
+	// Packets is the packet table; PacketID indexes it. Routing
+	// algorithms may mutate RouteBits; everything else is owned by the
+	// fabric.
+	Packets []PacketInfo
+	// Tracer, when non-nil, observes routing and delivery events.
+	Tracer Tracer
+
+	routers []router
+	nics    []nic
+
+	// Deferred credit returns, applied at the end of the cycle to model
+	// the one-cycle ack lines.
+	pendingCredits []laneRefAt
+	pendingNIC     []int32
+
+	counters     Counters
+	inFlight     int64 // flits injected but not yet delivered
+	lastProgress int64
+	cycle        int64
+
+	// linkFlits[r][p] counts flits transmitted out of router r's port p
+	// (including ejection ports); internal/chanstats aggregates it into
+	// per-level and per-dimension channel utilization.
+	linkFlits [][]int64
+
+	// wires[r][p] holds the flits in flight on the (pipelined) wire
+	// leaving router r's port p; allocated only when LinkCycles > 1.
+	// Constant flight time means arrival order equals send order, so a
+	// FIFO suffices, and the credit consumed at send time guarantees the
+	// remote buffer slot on arrival.
+	wires [][]wireFIFO
+}
+
+// flight is one flit in transit on a pipelined wire.
+type flight struct {
+	fl   Flit
+	lane int16
+	at   int64 // arrival cycle
+}
+
+// wireFIFO is an amortized O(1) queue of flights.
+type wireFIFO struct {
+	q    []flight
+	head int
+}
+
+func (w *wireFIFO) push(f flight) { w.q = append(w.q, f) }
+
+func (w *wireFIFO) empty() bool { return w.head >= len(w.q) }
+
+func (w *wireFIFO) front() *flight { return &w.q[w.head] }
+
+func (w *wireFIFO) pop() flight {
+	f := w.q[w.head]
+	w.head++
+	if w.head == len(w.q) {
+		w.q = w.q[:0]
+		w.head = 0
+	}
+	return f
+}
+
+// laneRefAt addresses an output lane anywhere in the fabric.
+type laneRefAt struct {
+	router int32
+	ref    laneRef
+}
+
+// NewFabric assembles a fabric over the given topology. The routing
+// algorithm's virtual-channel requirement must match cfg.VCs.
+func NewFabric(top topology.Topology, cfg Config, alg RoutingAlgorithm) (*Fabric, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if alg.VCs() != cfg.VCs {
+		return nil, fmt.Errorf("wormhole: algorithm %s needs %d VCs but config has %d", alg.Name(), alg.VCs(), cfg.VCs)
+	}
+	f := &Fabric{Top: top, Cfg: cfg, Alg: alg}
+	f.routers = make([]router, top.Routers())
+	for r := range f.routers {
+		ports := top.RouterPorts(r)
+		rt := &f.routers[r]
+		rt.in = make([][]inLane, len(ports))
+		rt.out = make([][]outLane, len(ports))
+		rt.linkRR = make([]int, len(ports))
+		for p, port := range ports {
+			var inN, outN int
+			switch port.Kind {
+			case topology.PortRouter:
+				inN, outN = cfg.VCs, cfg.VCs
+			case topology.PortNode:
+				// The node port's input side is the injection channel;
+				// its output side is the ejection channel with the full
+				// complement of virtual channels ("the processing nodes
+				// have a compatible interface with the same number of
+				// virtual channels", §4).
+				inN, outN = cfg.InjLanes, cfg.VCs
+			case topology.PortUnused:
+				inN, outN = 0, 0
+			}
+			rt.in[p] = make([]inLane, inN)
+			rt.out[p] = make([]outLane, outN)
+			for l := range rt.in[p] {
+				rt.in[p][l] = inLane{fifo: newFifo(cfg.BufDepth), bound: noRef}
+				rt.routeScan = append(rt.routeScan, packRef(p, l))
+			}
+			for l := range rt.out[p] {
+				rt.out[p][l] = outLane{fifo: newFifo(cfg.BufDepth), credits: int16(cfg.BufDepth), boundIn: noRef}
+			}
+		}
+	}
+	f.linkFlits = make([][]int64, top.Routers())
+	for r := range f.linkFlits {
+		f.linkFlits[r] = make([]int64, top.Degree())
+	}
+	if cfg.LinkCycles > 1 {
+		f.wires = make([][]wireFIFO, top.Routers())
+		for r := range f.wires {
+			f.wires[r] = make([]wireFIFO, top.Degree())
+		}
+	}
+	f.nics = make([]nic, top.Nodes())
+	for n := range f.nics {
+		lanes := make([]nicLane, cfg.InjLanes)
+		for l := range lanes {
+			lanes[l] = nicLane{cur: NoPacket, credit: int16(cfg.BufDepth)}
+		}
+		f.nics[n] = nic{lanes: lanes}
+	}
+	return f, nil
+}
+
+// Register installs the fabric's pipeline stages on the engine in the
+// canonical order: link transfer, crossbar transfer, routing, injection,
+// credit commit. A traffic generator should be registered between routing
+// and injection (or anywhere before injection) so packets created in a
+// cycle can start injecting the same cycle.
+func (f *Fabric) Register(e *sim.Engine) {
+	e.RegisterFunc("link", f.linkStage)
+	e.RegisterFunc("crossbar", f.crossbarStage)
+	e.RegisterFunc("routing", f.routingStage)
+	e.RegisterFunc("injection", f.injectionStage)
+	e.RegisterFunc("credits", f.creditStage)
+}
+
+// Counters returns a snapshot of the running totals.
+func (f *Fabric) Counters() Counters { return f.counters }
+
+// InFlight returns the number of flits currently inside the network
+// (injected but not delivered).
+func (f *Fabric) InFlight() int64 { return f.inFlight }
+
+// QueuedPackets returns the total number of packets waiting in source
+// queues or part-way through injection.
+func (f *Fabric) QueuedPackets() int64 {
+	var total int64
+	for n := range f.nics {
+		total += int64(len(f.nics[n].queue))
+		for _, ln := range f.nics[n].lanes {
+			if ln.cur != NoPacket {
+				total++
+			}
+		}
+	}
+	return total
+}
+
+// Drained reports whether no traffic remains anywhere: source queues,
+// injection streams and the network itself are all empty.
+func (f *Fabric) Drained() bool {
+	return f.inFlight == 0 && f.QueuedPackets() == 0
+}
+
+// EnqueuePacket creates a packet from src to dst at the given cycle and
+// places it on the source's queue. It returns the new packet's id. Packets
+// with src == dst never enter the network (the paper's palindrome nodes
+// under bit-reversal inject nothing); callers should not enqueue them.
+func (f *Fabric) EnqueuePacket(src, dst int, cycle int64) PacketID {
+	if src == dst {
+		panic("wormhole: EnqueuePacket with src == dst")
+	}
+	id := PacketID(len(f.Packets))
+	f.Packets = append(f.Packets, PacketInfo{
+		Src: int32(src), Dst: int32(dst), Flits: int32(f.Cfg.PacketFlits),
+		CreatedAt: cycle, InjectedAt: -1, HeadAt: -1, TailAt: -1,
+	})
+	f.nics[src].queue = append(f.nics[src].queue, id)
+	f.counters.PacketsCreated++
+	return id
+}
+
+// Packet returns the record of packet id.
+func (f *Fabric) Packet(id PacketID) *PacketInfo { return &f.Packets[id] }
+
+// Dest returns the destination node of packet id.
+func (f *Fabric) Dest(id PacketID) int { return int(f.Packets[id].Dst) }
+
+// OutLaneFree reports whether output lane (port, lane) of router r can
+// accept a new packet: neither full nor bound to another input lane (§4).
+func (f *Fabric) OutLaneFree(r, port, lane int) bool {
+	return f.routers[r].out[port][lane].free()
+}
+
+// OutLaneCredits returns the credit count of output lane (port, lane) of
+// router r — the known free space in the downstream input lane.
+func (f *Fabric) OutLaneCredits(r, port, lane int) int {
+	return int(f.routers[r].out[port][lane].credits)
+}
+
+// FreeLanes counts the free output lanes of (r, port) within lane index
+// range [lo, hi): the "number of free virtual channels" the fat-tree
+// algorithm uses to pick the least-loaded link (§2).
+func (f *Fabric) FreeLanes(r, port, lo, hi int) int {
+	lanes := f.routers[r].out[port]
+	free := 0
+	for l := lo; l < hi && l < len(lanes); l++ {
+		if lanes[l].free() {
+			free++
+		}
+	}
+	return free
+}
+
+// linkStage moves at most one flit per physical channel direction: for
+// every output port it fair-arbitrates among the lanes holding a flit that
+// has a credit, and transfers the winner to the same-numbered input lane
+// of the neighbouring switch (or delivers it, for ejection channels). It
+// also advances the NIC injection streams, which are links in the same
+// sense.
+func (f *Fabric) linkStage(cycle int64) {
+	f.cycle = cycle
+	if f.wires != nil {
+		f.commitWireArrivals(cycle)
+	}
+	for r := range f.routers {
+		rt := &f.routers[r]
+		ports := f.Top.RouterPorts(r)
+		for p := range ports {
+			lanes := rt.out[p]
+			if len(lanes) == 0 {
+				continue
+			}
+			switch ports[p].Kind {
+			case topology.PortRouter:
+				peer := &f.routers[ports[p].Peer]
+				peerIn := peer.in[ports[p].PeerPort]
+				n := len(lanes)
+				start := rt.linkRR[p]
+				for i := 0; i < n; i++ {
+					l := (start + i) % n
+					ol := &lanes[l]
+					if ol.n == 0 || ol.credits == 0 {
+						continue
+					}
+					fl := ol.front()
+					if fl.MovedAt >= cycle {
+						continue
+					}
+					moved := ol.pop()
+					moved.MovedAt = cycle
+					ol.credits--
+					if f.wires != nil {
+						f.wires[r][p].push(flight{fl: moved, lane: int16(l), at: cycle + int64(f.Cfg.LinkCycles) - 1})
+					} else {
+						peerIn[l].push(moved)
+					}
+					rt.linkRR[p] = (l + 1) % n
+					f.linkFlits[r][p]++
+					f.lastProgress = cycle
+					break
+				}
+			case topology.PortNode:
+				// Ejection channel: the node consumes one flit per cycle;
+				// its buffers never back-pressure the router.
+				n := len(lanes)
+				start := rt.linkRR[p]
+				for i := 0; i < n; i++ {
+					l := (start + i) % n
+					ol := &lanes[l]
+					if ol.n == 0 {
+						continue
+					}
+					fl := ol.front()
+					if fl.MovedAt >= cycle {
+						continue
+					}
+					moved := ol.pop()
+					if f.wires != nil {
+						moved.MovedAt = cycle
+						f.wires[r][p].push(flight{fl: moved, lane: int16(l), at: cycle + int64(f.Cfg.LinkCycles) - 1})
+					} else {
+						f.deliver(moved, cycle)
+					}
+					rt.linkRR[p] = (l + 1) % n
+					f.linkFlits[r][p]++
+					f.lastProgress = cycle
+					break
+				}
+			}
+		}
+	}
+}
+
+// commitWireArrivals lands every in-flight flit whose flight time has
+// elapsed: into the neighbour's input lane (the credit consumed at send
+// time reserved the slot) or, on ejection wires, into the destination
+// NIC.
+func (f *Fabric) commitWireArrivals(cycle int64) {
+	for r := range f.wires {
+		ports := f.Top.RouterPorts(r)
+		for p := range f.wires[r] {
+			w := &f.wires[r][p]
+			for !w.empty() && w.front().at <= cycle {
+				fl := w.pop()
+				switch ports[p].Kind {
+				case topology.PortRouter:
+					arrived := fl.fl
+					arrived.MovedAt = fl.at
+					f.routers[ports[p].Peer].in[ports[p].PeerPort][fl.lane].push(arrived)
+				case topology.PortNode:
+					f.deliver(fl.fl, fl.at)
+				}
+				f.lastProgress = cycle
+			}
+		}
+	}
+}
+
+// deliver records the arrival of a flit at its destination NIC. Wormhole
+// switching must deliver each packet's flits exactly once and in order;
+// the fabric asserts it on every flit.
+func (f *Fabric) deliver(fl Flit, cycle int64) {
+	pk := &f.Packets[fl.Packet]
+	if fl.Seq != pk.deliverNext {
+		panic(fmt.Sprintf("wormhole: packet %d delivered flit %d out of order (expected %d)", fl.Packet, fl.Seq, pk.deliverNext))
+	}
+	pk.deliverNext++
+	if fl.Kind.IsTail() && fl.Seq != pk.Flits-1 {
+		panic(fmt.Sprintf("wormhole: packet %d tail at sequence %d, want %d", fl.Packet, fl.Seq, pk.Flits-1))
+	}
+	if fl.Kind.IsHead() {
+		pk.HeadAt = cycle
+	}
+	if fl.Kind.IsTail() {
+		pk.TailAt = cycle
+		f.counters.PacketsDelivered++
+		if f.Tracer != nil {
+			f.Tracer.PacketDelivered(cycle, fl.Packet)
+		}
+	}
+	f.counters.FlitsDelivered++
+	f.inFlight--
+}
+
+// crossbarStage moves flits from bound input lanes into their allocated
+// output lanes — one flit per lane per cycle, any number of lanes in
+// parallel ("multiple virtual channels can be active at the input and
+// output ports of the crossbar", §4) — and sends the credit back to the
+// upstream switch. The tail flit's passage releases both bindings.
+func (f *Fabric) crossbarStage(cycle int64) {
+	for r := range f.routers {
+		rt := &f.routers[r]
+		ports := f.Top.RouterPorts(r)
+		for p := range rt.in {
+			inLanes := rt.in[p]
+			for l := range inLanes {
+				il := &inLanes[l]
+				if il.n == 0 || il.bound == noRef {
+					continue
+				}
+				fl := il.front()
+				if fl.MovedAt >= cycle {
+					continue
+				}
+				op, olIdx := il.bound.unpack()
+				ol := &rt.out[op][olIdx]
+				if ol.full() {
+					continue
+				}
+				moved := il.pop()
+				moved.MovedAt = cycle
+				ol.push(moved)
+				f.lastProgress = cycle
+				if moved.Kind.IsTail() {
+					il.bound = noRef
+					ol.boundIn = noRef
+				}
+				// Ack to the upstream side: a buffer slot was released in
+				// this input lane.
+				switch ports[p].Kind {
+				case topology.PortRouter:
+					f.pendingCredits = append(f.pendingCredits, laneRefAt{
+						router: int32(ports[p].Peer),
+						ref:    packRef(ports[p].PeerPort, l),
+					})
+				case topology.PortNode:
+					f.pendingNIC = append(f.pendingNIC, int32(ports[p].Peer)*packRadix+int32(l))
+				}
+			}
+		}
+	}
+}
+
+// routingStage routes at most one header per switch per cycle (§4): a
+// round-robin arbiter picks the next input lane presenting an unrouted
+// header and asks the routing algorithm for an output lane. On success
+// the lanes are bound; on failure the cycle is spent and the arbiter
+// moves on, so a blocked header cannot starve the others.
+func (f *Fabric) routingStage(cycle int64) {
+	if f.Cfg.RouteEvery > 1 && cycle%int64(f.Cfg.RouteEvery) != 0 {
+		return
+	}
+	for r := range f.routers {
+		rt := &f.routers[r]
+		n := len(rt.routeScan)
+		for i := 0; i < n; i++ {
+			idx := (rt.routeRR + i) % n
+			p, l := rt.routeScan[idx].unpack()
+			il := &rt.in[p][l]
+			if il.n == 0 || il.bound != noRef {
+				continue
+			}
+			fl := il.front()
+			if fl.MovedAt >= cycle {
+				continue
+			}
+			if !fl.Kind.IsHead() {
+				panic(fmt.Sprintf("wormhole: unbound non-header flit at router %d port %d lane %d", r, p, l))
+			}
+			if f.Cfg.StoreAndForward && !il.holdsWholePacket(&f.Packets[fl.Packet]) {
+				continue
+			}
+			rt.routeRR = (idx + 1) % n
+			op, ol, ok := f.Alg.Route(f, r, p, l, fl.Packet)
+			if ok {
+				out := &rt.out[op][ol]
+				if !out.free() {
+					panic(fmt.Sprintf("wormhole: algorithm %s allocated non-free lane (%d,%d) at router %d", f.Alg.Name(), op, ol, r))
+				}
+				il.bound = packRef(op, ol)
+				out.boundIn = packRef(p, l)
+				fl.MovedAt = cycle // routing itself takes T_routing = 1 cycle
+				f.Packets[fl.Packet].Hops++
+				f.lastProgress = cycle
+				if f.Tracer != nil {
+					f.Tracer.HeaderRouted(cycle, fl.Packet, r, p, l, op, ol)
+				}
+			}
+			break // one routing decision per switch per cycle
+		}
+	}
+}
+
+// injectionStage advances the NIC injection streams: each stream pushes
+// the next flit of its current packet into the router's injection lane
+// when a credit is available, and picks up the next queued packet after
+// the tail leaves. Network latency is measured from the cycle the header
+// enters the injection lane.
+func (f *Fabric) injectionStage(cycle int64) {
+	for n := range f.nics {
+		nc := &f.nics[n]
+		at := f.Top.NodeAttach(n)
+		for l := range nc.lanes {
+			st := &nc.lanes[l]
+			if st.cur == NoPacket {
+				if len(nc.queue) == 0 {
+					continue
+				}
+				st.cur = nc.queue[0]
+				copy(nc.queue, nc.queue[1:])
+				nc.queue = nc.queue[:len(nc.queue)-1]
+				st.nextSeq = 0
+			}
+			if st.credit == 0 {
+				continue
+			}
+			pk := &f.Packets[st.cur]
+			var kind FlitKind
+			if st.nextSeq == 0 {
+				kind |= FlitHead
+			}
+			if st.nextSeq == pk.Flits-1 {
+				kind |= FlitTail
+			}
+			f.routers[at.Router].in[at.Port][l].push(Flit{
+				Packet: st.cur, Seq: st.nextSeq, MovedAt: cycle, Kind: kind,
+			})
+			st.credit--
+			f.counters.FlitsInjected++
+			f.inFlight++
+			f.lastProgress = cycle
+			if st.nextSeq == 0 {
+				pk.InjectedAt = cycle
+				f.counters.PacketsInjected++
+			}
+			st.nextSeq++
+			if kind.IsTail() {
+				st.cur = NoPacket
+			}
+		}
+	}
+}
+
+// creditStage commits the cycle's deferred credit returns (the ack lines
+// take one cycle) and runs the deadlock watchdog.
+func (f *Fabric) creditStage(cycle int64) {
+	for _, c := range f.pendingCredits {
+		p, l := c.ref.unpack()
+		ol := &f.routers[c.router].out[p][l]
+		ol.credits++
+		if int(ol.credits) > f.Cfg.BufDepth {
+			panic("wormhole: credit overflow")
+		}
+	}
+	f.pendingCredits = f.pendingCredits[:0]
+	for _, c := range f.pendingNIC {
+		node, lane := int(c)/packRadix, int(c)%packRadix
+		st := &f.nics[node].lanes[lane]
+		st.credit++
+		if int(st.credit) > f.Cfg.BufDepth {
+			panic("wormhole: NIC credit overflow")
+		}
+	}
+	f.pendingNIC = f.pendingNIC[:0]
+
+	if f.Cfg.WatchdogCycles > 0 && f.inFlight > 0 && cycle-f.lastProgress > f.Cfg.WatchdogCycles {
+		panic(fmt.Sprintf("wormhole: no progress for %d cycles with %d flits in flight (algorithm %s) — possible deadlock",
+			cycle-f.lastProgress, f.inFlight, f.Alg.Name()))
+	}
+}
+
+// LinkFlits returns the number of flits transmitted out of router r's
+// port p since construction (or the last ResetLinkStats).
+func (f *Fabric) LinkFlits(r, p int) int64 { return f.linkFlits[r][p] }
+
+// ResetLinkStats zeroes the per-link flit counters, typically at the end
+// of the warm-up period.
+func (f *Fabric) ResetLinkStats() {
+	for r := range f.linkFlits {
+		for p := range f.linkFlits[r] {
+			f.linkFlits[r][p] = 0
+		}
+	}
+}
+
+// CheckInvariants verifies the fabric's structural invariants; tests call
+// it between cycles. It checks credit conservation (credits plus remote
+// lane occupancy plus in-transit acks equal the buffer depth for every
+// router-to-router lane) and binding reciprocity.
+func (f *Fabric) CheckInvariants() error {
+	// Count pending acks per (router, out lane).
+	pending := map[laneRefAt]int{}
+	for _, c := range f.pendingCredits {
+		pending[c]++
+	}
+	for r := range f.routers {
+		rt := &f.routers[r]
+		ports := f.Top.RouterPorts(r)
+		for p, port := range ports {
+			if port.Kind != topology.PortRouter {
+				continue
+			}
+			peer := &f.routers[port.Peer]
+			for l := range rt.out[p] {
+				ol := &rt.out[p][l]
+				remote := &peer.in[port.PeerPort][l]
+				onWire := 0
+				if f.wires != nil {
+					w := &f.wires[r][p]
+					for i := w.head; i < len(w.q); i++ {
+						if int(w.q[i].lane) == l {
+							onWire++
+						}
+					}
+				}
+				got := int(ol.credits) + remote.n + onWire + pending[laneRefAt{router: int32(r), ref: packRef(p, l)}]
+				if got != f.Cfg.BufDepth {
+					return fmt.Errorf("wormhole: credit conservation violated at router %d port %d lane %d: credits %d + remote %d + wire %d + pending = %d, want %d",
+						r, p, l, ol.credits, remote.n, onWire, got, f.Cfg.BufDepth)
+				}
+				if ol.boundIn != noRef {
+					ip, il := ol.boundIn.unpack()
+					if rt.in[ip][il].bound != packRef(p, l) {
+						return fmt.Errorf("wormhole: asymmetric binding at router %d: out (%d,%d) claims in (%d,%d)", r, p, l, ip, il)
+					}
+				}
+			}
+			for l := range rt.in[p] {
+				il := &rt.in[p][l]
+				if il.bound != noRef {
+					op, olIdx := il.bound.unpack()
+					if rt.out[op][olIdx].boundIn != packRef(p, l) {
+						return fmt.Errorf("wormhole: asymmetric binding at router %d: in (%d,%d) claims out (%d,%d)", r, p, l, op, olIdx)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}

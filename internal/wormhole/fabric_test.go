@@ -1,0 +1,413 @@
+package wormhole
+
+import (
+	"strings"
+	"testing"
+
+	"smart/internal/sim"
+	"smart/internal/topology"
+)
+
+// greedyRing is a minimal test algorithm on a k-ary 1-cube: always move in
+// the Plus direction until the destination router, then eject. With a
+// single virtual channel it is deliberately deadlock-prone on rings, which
+// the watchdog tests exploit.
+type greedyRing struct {
+	cube *topology.Cube
+	vcs  int
+	// noEject, when set, never routes to the node port — packets orbit
+	// forever (livelock, not deadlock: flits keep moving).
+	noEject bool
+}
+
+func (g *greedyRing) Name() string { return "greedy-ring" }
+func (g *greedyRing) VCs() int     { return g.vcs }
+
+func (g *greedyRing) Route(f *Fabric, r, inPort, inLane int, pkt PacketID) (int, int, bool) {
+	if !g.noEject && r == f.Dest(pkt) {
+		for l := 0; l < g.vcs; l++ {
+			if f.OutLaneFree(r, g.cube.NodePort(), l) {
+				return g.cube.NodePort(), l, true
+			}
+		}
+		return 0, 0, false
+	}
+	port := topology.PortOf(0, topology.Plus)
+	for l := 0; l < g.vcs; l++ {
+		if f.OutLaneFree(r, port, l) {
+			return port, l, true
+		}
+	}
+	return 0, 0, false
+}
+
+func ringFabric(t *testing.T, k int, cfg Config) (*Fabric, *topology.Cube) {
+	t.Helper()
+	cube, err := topology.NewCube(k, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := NewFabric(cube, cfg, &greedyRing{cube: cube, vcs: cfg.VCs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, cube
+}
+
+func runFabric(f *Fabric, cycles int64) *sim.Engine {
+	e := sim.NewEngine()
+	f.Register(e)
+	e.Run(cycles)
+	return e
+}
+
+func TestConfigValidation(t *testing.T) {
+	cube, _ := topology.NewCube(4, 1)
+	good := Config{VCs: 1, BufDepth: 4, PacketFlits: 4, InjLanes: 1}
+	bad := []Config{
+		{VCs: 0, BufDepth: 4, PacketFlits: 4, InjLanes: 1},
+		{VCs: packRadix, BufDepth: 4, PacketFlits: 4, InjLanes: 1},
+		{VCs: 1, BufDepth: 0, PacketFlits: 4, InjLanes: 1},
+		{VCs: 1, BufDepth: 4, PacketFlits: 0, InjLanes: 1},
+		{VCs: 1, BufDepth: 4, PacketFlits: 4, InjLanes: 0},
+	}
+	if _, err := NewFabric(cube, good, &greedyRing{cube: cube, vcs: 1}); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	for i, cfg := range bad {
+		if _, err := NewFabric(cube, cfg, &greedyRing{cube: cube, vcs: cfg.VCs}); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestNewFabricVCMismatch(t *testing.T) {
+	cube, _ := topology.NewCube(4, 1)
+	_, err := NewFabric(cube, Config{VCs: 2, BufDepth: 4, PacketFlits: 4, InjLanes: 1}, &greedyRing{cube: cube, vcs: 1})
+	if err == nil || !strings.Contains(err.Error(), "needs 1 VCs") {
+		t.Fatalf("VC mismatch not reported: %v", err)
+	}
+}
+
+func TestFabricLaneLayout(t *testing.T) {
+	tree, err := topology.NewTree(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := NewFabric(tree, Config{VCs: 2, BufDepth: 4, PacketFlits: 4, InjLanes: 1}, &greedyRing{vcs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Level-0 switch: 4 node down ports (1 injection in-lane, 2 ejection
+	// out-lanes each) + 4 router up ports (2 lanes each side).
+	rt := &f.routers[0]
+	for p := 0; p < 4; p++ {
+		if len(rt.in[p]) != 1 || len(rt.out[p]) != 2 {
+			t.Fatalf("node port %d lanes in=%d out=%d, want 1/2", p, len(rt.in[p]), len(rt.out[p]))
+		}
+	}
+	for p := 4; p < 8; p++ {
+		if len(rt.in[p]) != 2 || len(rt.out[p]) != 2 {
+			t.Fatalf("up port %d lanes in=%d out=%d, want 2/2", p, len(rt.in[p]), len(rt.out[p]))
+		}
+	}
+	// Top-level switch: unused up ports get no lanes.
+	top := &f.routers[tree.SwitchIndex(1, 0)]
+	for p := 4; p < 8; p++ {
+		if len(top.in[p]) != 0 || len(top.out[p]) != 0 {
+			t.Fatalf("unused port %d has lanes", p)
+		}
+	}
+}
+
+// TestSinglePacketExactTiming pins down the pipeline model: with the three
+// stage delays equalized to one cycle, the header takes 3 cycles per
+// switch (routing, crossbar, link) and the tail trails by packet length
+// minus one once the pipeline is full.
+func TestSinglePacketExactTiming(t *testing.T) {
+	const flits = 6
+	f, _ := ringFabric(t, 8, Config{VCs: 1, BufDepth: 4, PacketFlits: flits, InjLanes: 1})
+	f.EnqueuePacket(0, 3, 0)
+	runFabric(f, 200)
+	pk := f.Packet(0)
+	if pk.InjectedAt != 0 {
+		t.Fatalf("InjectedAt = %d, want 0", pk.InjectedAt)
+	}
+	// Switches traversed: routers 0,1,2,3 -> 4 routing decisions.
+	if pk.Hops != 4 {
+		t.Fatalf("Hops = %d, want 4", pk.Hops)
+	}
+	if pk.HeadAt != 12 {
+		t.Fatalf("HeadAt = %d, want 3 cycles/switch * 4 switches = 12", pk.HeadAt)
+	}
+	if pk.TailAt != 12+flits-1 {
+		t.Fatalf("TailAt = %d, want %d", pk.TailAt, 12+flits-1)
+	}
+	if !pk.Delivered() || f.InFlight() != 0 {
+		t.Fatal("packet not fully delivered")
+	}
+}
+
+func TestSingleFlitPacket(t *testing.T) {
+	f, _ := ringFabric(t, 4, Config{VCs: 1, BufDepth: 2, PacketFlits: 1, InjLanes: 1})
+	f.EnqueuePacket(0, 1, 0)
+	runFabric(f, 100)
+	pk := f.Packet(0)
+	if !pk.Delivered() {
+		t.Fatal("single-flit packet not delivered")
+	}
+	if pk.HeadAt != pk.TailAt {
+		t.Fatalf("head %d != tail %d for single-flit packet", pk.HeadAt, pk.TailAt)
+	}
+	if pk.Hops != 2 {
+		t.Fatalf("Hops = %d, want 2", pk.Hops)
+	}
+}
+
+func TestSourceThrottlingSerializesInjection(t *testing.T) {
+	const flits = 8
+	f, _ := ringFabric(t, 8, Config{VCs: 1, BufDepth: 4, PacketFlits: flits, InjLanes: 1})
+	f.EnqueuePacket(0, 2, 0)
+	f.EnqueuePacket(0, 3, 0)
+	runFabric(f, 300)
+	p0, p1 := f.Packet(0), f.Packet(1)
+	if !p0.Delivered() || !p1.Delivered() {
+		t.Fatal("packets not delivered")
+	}
+	// With a single injection channel the second header cannot enter
+	// before the first tail has been injected (flits-1 cycles after the
+	// first header at best).
+	if p1.InjectedAt < p0.InjectedAt+flits {
+		t.Fatalf("second packet injected at %d, first at %d: source throttling violated", p1.InjectedAt, p0.InjectedAt)
+	}
+}
+
+func TestMultipleInjectionLanesOverlap(t *testing.T) {
+	const flits = 8
+	f, _ := ringFabric(t, 8, Config{VCs: 2, BufDepth: 4, PacketFlits: flits, InjLanes: 2})
+	f.Alg.(*greedyRing).vcs = 2
+	f.EnqueuePacket(0, 2, 0)
+	f.EnqueuePacket(0, 3, 0)
+	runFabric(f, 300)
+	p0, p1 := f.Packet(0), f.Packet(1)
+	if !p0.Delivered() || !p1.Delivered() {
+		t.Fatal("packets not delivered")
+	}
+	if p1.InjectedAt > p0.InjectedAt+1 {
+		t.Fatalf("with two injection lanes the packets should inject concurrently (got %d and %d)", p0.InjectedAt, p1.InjectedAt)
+	}
+}
+
+func TestNICQueueIsFIFO(t *testing.T) {
+	f, _ := ringFabric(t, 8, Config{VCs: 1, BufDepth: 4, PacketFlits: 2, InjLanes: 1})
+	for i := 0; i < 5; i++ {
+		f.EnqueuePacket(0, 1+i%6, 0)
+	}
+	runFabric(f, 500)
+	var prev int64 = -1
+	for i := 0; i < 5; i++ {
+		pk := f.Packet(PacketID(i))
+		if !pk.Delivered() {
+			t.Fatalf("packet %d undelivered", i)
+		}
+		if pk.InjectedAt <= prev {
+			t.Fatalf("packet %d injected at %d, not after predecessor at %d", i, pk.InjectedAt, prev)
+		}
+		prev = pk.InjectedAt
+	}
+}
+
+func TestEnqueueSelfPanics(t *testing.T) {
+	f, _ := ringFabric(t, 4, Config{VCs: 1, BufDepth: 2, PacketFlits: 2, InjLanes: 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("EnqueuePacket(src == dst) did not panic")
+		}
+	}()
+	f.EnqueuePacket(2, 2, 0)
+}
+
+func TestCountersAndConservation(t *testing.T) {
+	const flits = 4
+	f, cube := ringFabric(t, 8, Config{VCs: 1, BufDepth: 4, PacketFlits: flits, InjLanes: 1})
+	rng := sim.NewRNG(1)
+	var want int64
+	// Greedy Plus-only routing deadlocks when worms cross the wrap-around
+	// link cyclically, so keep every path inside the 0..7 ascent: the
+	// channel dependency graph is then acyclic and all packets complete.
+	for n := 0; n < cube.Nodes()-1; n++ {
+		for i := 0; i < 3; i++ {
+			dst := n + 1 + rng.Intn(cube.Nodes()-1-n)
+			f.EnqueuePacket(n, dst, 0)
+			want++
+		}
+	}
+	runFabric(f, 2000)
+	c := f.Counters()
+	if c.PacketsCreated != want || c.PacketsInjected != want || c.PacketsDelivered != want {
+		t.Fatalf("packet counters %+v, want all %d", c, want)
+	}
+	if c.FlitsInjected != want*flits || c.FlitsDelivered != want*flits {
+		t.Fatalf("flit counters %+v, want %d", c, want*flits)
+	}
+	if !f.Drained() || f.InFlight() != 0 || f.QueuedPackets() != 0 {
+		t.Fatal("fabric not drained")
+	}
+	for i := range f.Packets {
+		pk := &f.Packets[i]
+		if pk.InjectedAt < pk.CreatedAt || pk.HeadAt < pk.InjectedAt || pk.TailAt < pk.HeadAt+int64(flits)-1 {
+			t.Fatalf("packet %d has inconsistent timeline %+v", i, *pk)
+		}
+	}
+}
+
+func TestInvariantsUnderTraffic(t *testing.T) {
+	f, cube := ringFabric(t, 8, Config{VCs: 1, BufDepth: 4, PacketFlits: 4, InjLanes: 1})
+	e := sim.NewEngine()
+	f.Register(e)
+	rng := sim.NewRNG(99)
+	for cycle := int64(0); cycle < 600; cycle++ {
+		if cycle < 400 && rng.Bernoulli(0.3) {
+			src := rng.Intn(cube.Nodes())
+			dst := (src + 1 + rng.Intn(cube.Nodes()-1)) % cube.Nodes()
+			f.EnqueuePacket(src, dst, cycle)
+		}
+		e.Step()
+		if err := f.CheckInvariants(); err != nil {
+			t.Fatalf("cycle %d: %v", cycle, err)
+		}
+	}
+}
+
+func TestWatchdogFiresOnRingDeadlock(t *testing.T) {
+	// Classic wormhole deadlock: every node on a 4-ring sends a long worm
+	// two hops forward with a single virtual channel and no wrap-around
+	// escape. The cyclic channel dependency stops all movement and the
+	// watchdog must fire.
+	f, cube := ringFabric(t, 4, Config{VCs: 1, BufDepth: 2, PacketFlits: 64, InjLanes: 1, WatchdogCycles: 200})
+	for n := 0; n < cube.Nodes(); n++ {
+		f.EnqueuePacket(n, (n+2)%4, 0)
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("deadlocked ring did not trip the watchdog")
+		}
+		if !strings.Contains(r.(string), "possible deadlock") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	runFabric(f, 5000)
+}
+
+func TestWatchdogQuietOnLivePacketFlow(t *testing.T) {
+	f, cube := ringFabric(t, 8, Config{VCs: 1, BufDepth: 4, PacketFlits: 4, InjLanes: 1, WatchdogCycles: 100})
+	for n := 0; n < cube.Nodes(); n++ {
+		f.EnqueuePacket(n, (n+1)%8, 0)
+	}
+	runFabric(f, 3000) // must not panic
+	if !f.Drained() {
+		t.Fatal("traffic did not drain")
+	}
+}
+
+func TestHeaderPipelinesThroughNetwork(t *testing.T) {
+	// Two packets from different sources to different destinations must
+	// progress concurrently (the fabric is not globally serialized).
+	f, _ := ringFabric(t, 8, Config{VCs: 1, BufDepth: 4, PacketFlits: 4, InjLanes: 1})
+	f.EnqueuePacket(0, 2, 0)
+	f.EnqueuePacket(4, 6, 0)
+	runFabric(f, 100)
+	p0, p1 := f.Packet(0), f.Packet(1)
+	if p0.TailAt != p1.TailAt {
+		t.Fatalf("disjoint equal-length paths delivered at %d and %d, want simultaneous", p0.TailAt, p1.TailAt)
+	}
+}
+
+func TestLinkTransfersOneFlitPerCycle(t *testing.T) {
+	// Two packets contending for the same physical link: total delivery
+	// time must reflect the 1 flit/cycle link bound (the second worm
+	// waits for the first to release the lane).
+	const flits = 8
+	cfg := Config{VCs: 1, BufDepth: 4, PacketFlits: flits, InjLanes: 1}
+	// Baselines: each worm alone on an idle network.
+	baseline := func(src, dst int) int64 {
+		alone, _ := ringFabric(t, 8, cfg)
+		alone.EnqueuePacket(src, dst, 0)
+		runFabric(alone, 500)
+		return alone.Packet(0).TailAt
+	}
+	base0, base1 := baseline(0, 4), baseline(1, 5)
+
+	f, _ := ringFabric(t, 8, cfg)
+	f.EnqueuePacket(0, 4, 0) // passes through routers 1,2,3
+	f.EnqueuePacket(1, 5, 0) // overlaps on links 1->2, 2->3, 3->4
+	runFabric(f, 500)
+	p0, p1 := f.Packet(0), f.Packet(1)
+	if !p0.Delivered() || !p1.Delivered() {
+		t.Fatal("packets not delivered")
+	}
+	// With a single lane per link, whichever worm loses the allocation
+	// race must queue behind the winner on the shared segment; neither
+	// may beat its unobstructed time.
+	d0, d1 := p0.TailAt-base0, p1.TailAt-base1
+	if d0 < 0 || d1 < 0 {
+		t.Fatalf("a worm beat its unobstructed baseline (deltas %d, %d)", d0, d1)
+	}
+	if d0+d1 < flits/2 {
+		t.Fatalf("no serialization on the shared lane (deltas %d, %d)", d0, d1)
+	}
+}
+
+func TestTracerSeesAllEvents(t *testing.T) {
+	f, _ := ringFabric(t, 8, Config{VCs: 1, BufDepth: 4, PacketFlits: 4, InjLanes: 1})
+	tr := &recordingTracer{}
+	f.Tracer = tr
+	f.EnqueuePacket(0, 3, 0)
+	runFabric(f, 100)
+	if tr.delivered != 1 {
+		t.Fatalf("tracer saw %d deliveries, want 1", tr.delivered)
+	}
+	if len(tr.routes) != 4 {
+		t.Fatalf("tracer saw %d routing events, want 4", len(tr.routes))
+	}
+	for i, r := range tr.routes {
+		if r != i { // routers 0,1,2,3 in order
+			t.Fatalf("routing event %d at router %d", i, r)
+		}
+	}
+}
+
+type recordingTracer struct {
+	routes    []int
+	delivered int
+}
+
+func (t *recordingTracer) HeaderRouted(cycle int64, pkt PacketID, r, ip, il, op, ol int) {
+	t.routes = append(t.routes, r)
+}
+
+func (t *recordingTracer) PacketDelivered(cycle int64, pkt PacketID) { t.delivered++ }
+
+func TestBufDepthLimitsInFlightFlits(t *testing.T) {
+	// Freeze the network after partial delivery by using a no-eject
+	// algorithm on a small ring: flits fill the lane buffers and stop;
+	// in-flight flit count must never exceed the aggregate buffer space.
+	cube, _ := topology.NewCube(4, 1)
+	cfg := Config{VCs: 1, BufDepth: 2, PacketFlits: 64, InjLanes: 1}
+	f, err := NewFabric(cube, cfg, &greedyRing{cube: cube, vcs: 1, noEject: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.EnqueuePacket(0, 2, 0)
+	runFabric(f, 1000)
+	// The orbiting worm can occupy, per router, the Plus in-lane and
+	// out-lane, plus router 0's injection in-lane.
+	max := int64(4*cfg.BufDepth*2 + cfg.BufDepth)
+	if f.InFlight() > max {
+		t.Fatalf("in-flight flits %d exceed aggregate buffer bound %d", f.InFlight(), max)
+	}
+	if f.InFlight() == 0 {
+		t.Fatal("expected stalled flits in flight")
+	}
+}

@@ -1,0 +1,130 @@
+package wormhole
+
+import (
+	"testing"
+
+	"smart/internal/topology"
+)
+
+// twoLaneRing is a 2-VC greedy ring algorithm that assigns each packet a
+// fixed lane (by packet id parity), forcing two worms to share a physical
+// link on different virtual channels.
+type twoLaneRing struct {
+	cube *topology.Cube
+}
+
+func (g *twoLaneRing) Name() string { return "two-lane-ring" }
+func (g *twoLaneRing) VCs() int     { return 2 }
+
+func (g *twoLaneRing) Route(f *Fabric, r, inPort, inLane int, pkt PacketID) (int, int, bool) {
+	lane := int(pkt) % 2
+	if r == f.Dest(pkt) {
+		if f.OutLaneFree(r, g.cube.NodePort(), lane) {
+			return g.cube.NodePort(), lane, true
+		}
+		return 0, 0, false
+	}
+	port := topology.PortOf(0, topology.Plus)
+	if f.OutLaneFree(r, port, lane) {
+		return port, lane, true
+	}
+	return 0, 0, false
+}
+
+// TestLinkArbitrationIsFair: two equal worms multiplexed on one physical
+// link via different virtual channels must finish close together — the
+// round-robin link arbiter interleaves their flits ("a fair policy", §4)
+// instead of draining one worm first.
+func TestLinkArbitrationIsFair(t *testing.T) {
+	cube, err := topology.NewCube(8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const flits = 16
+	f, err := NewFabric(cube, Config{VCs: 2, BufDepth: 4, PacketFlits: flits, InjLanes: 2}, &twoLaneRing{cube: cube})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same source, same destination, different lanes: the full path is
+	// shared.
+	f.EnqueuePacket(0, 5, 0)
+	f.EnqueuePacket(0, 5, 0)
+	runFabric(f, 2000)
+	p0, p1 := f.Packet(0), f.Packet(1)
+	if !p0.Delivered() || !p1.Delivered() {
+		t.Fatal("worms not delivered")
+	}
+	gap := p0.TailAt - p1.TailAt
+	if gap < 0 {
+		gap = -gap
+	}
+	// Fair interleaving at half rate each: tails land within a few
+	// cycles of each other. A drain-one-first arbiter would separate
+	// them by a full worm length.
+	if gap >= flits {
+		t.Fatalf("tails %d cycles apart: link arbitration is not interleaving fairly", gap)
+	}
+	// And each worm took roughly twice its solo time, confirming the
+	// link was genuinely shared.
+	solo, _ := ringFabric(t, 8, Config{VCs: 1, BufDepth: 4, PacketFlits: flits, InjLanes: 1})
+	solo.EnqueuePacket(0, 5, 0)
+	runFabric(solo, 2000)
+	soloTail := solo.Packet(0).TailAt
+	if p0.TailAt < soloTail+flits/2 {
+		t.Fatalf("shared worm finished at %d, solo at %d: no multiplexing cost visible", p0.TailAt, soloTail)
+	}
+}
+
+// TestEjectionArbitrationServesAllLanes: two worms to the same node on
+// different lanes must both make ejection progress (round-robin over the
+// ejection port's lanes).
+func TestEjectionArbitrationServesAllLanes(t *testing.T) {
+	cube, err := topology.NewCube(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const flits = 12
+	f, err := NewFabric(cube, Config{VCs: 2, BufDepth: 4, PacketFlits: flits, InjLanes: 1}, &twoLaneRing{cube: cube})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.EnqueuePacket(0, 2, 0)
+	f.EnqueuePacket(1, 2, 0)
+	runFabric(f, 2000)
+	p0, p1 := f.Packet(0), f.Packet(1)
+	if !p0.Delivered() || !p1.Delivered() {
+		t.Fatal("worms not delivered")
+	}
+	// The ejection link serves one flit per cycle across both lanes; the
+	// later tail cannot lag the earlier by much more than a worm.
+	gap := p0.TailAt - p1.TailAt
+	if gap < 0 {
+		gap = -gap
+	}
+	if gap > 2*flits {
+		t.Fatalf("ejection starved one lane: tails %d cycles apart", gap)
+	}
+}
+
+func TestQueuedPacketsAccounting(t *testing.T) {
+	f, _ := ringFabric(t, 8, Config{VCs: 1, BufDepth: 4, PacketFlits: 8, InjLanes: 1})
+	for i := 0; i < 5; i++ {
+		f.EnqueuePacket(0, 3, 0)
+	}
+	if got := f.QueuedPackets(); got != 5 {
+		t.Fatalf("QueuedPackets = %d before any cycle, want 5", got)
+	}
+	e := runFabric(f, 3)
+	// One packet has moved to the injection stream; it still counts as
+	// queued until its tail leaves the NIC.
+	if got := f.QueuedPackets(); got != 5 {
+		t.Fatalf("QueuedPackets = %d mid-injection, want 5", got)
+	}
+	e.Run(2000)
+	if got := f.QueuedPackets(); got != 0 {
+		t.Fatalf("QueuedPackets = %d after drain, want 0", got)
+	}
+	if !f.Drained() {
+		t.Fatal("fabric not drained")
+	}
+}

@@ -1,0 +1,65 @@
+package smart_test
+
+import (
+	"testing"
+
+	"smart"
+)
+
+// TestFacadeRunsPaperConfigs exercises the public API end to end: every
+// paper configuration assembles and runs through the facade at a small
+// scale.
+func TestFacadeRunsPaperConfigs(t *testing.T) {
+	for _, cfg := range smart.PaperConfigs() {
+		cfg.K, cfg.N = 4, 2 // shrink both families to 16 nodes
+		cfg.Load = 0.2
+		cfg.Warmup, cfg.Horizon = 300, 1500
+		res, err := smart.Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Label(), err)
+		}
+		if res.Sample.PacketsDelivered == 0 {
+			t.Fatalf("%s delivered nothing", cfg.Label())
+		}
+	}
+}
+
+func TestFacadeSweepAndSeries(t *testing.T) {
+	cfg := smart.Config{
+		Network: smart.NetworkCube, Algorithm: smart.AlgDeterministic, VCs: 4,
+		K: 4, N: 2, Pattern: smart.PatternUniform,
+		Warmup: 300, Horizon: 1500, Seed: 5,
+	}
+	results, err := smart.Sweep(cfg, []float64{0.1, 0.3}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := smart.SeriesOf(results)
+	if len(series) != 2 || series[0].Offered != 0.1 {
+		t.Fatalf("series %+v", series)
+	}
+}
+
+func TestFacadeSimulationControl(t *testing.T) {
+	cfg := smart.Config{
+		Network: smart.NetworkTree, Algorithm: smart.AlgAdaptive, VCs: 2,
+		K: 4, N: 2, Load: 0.3, Warmup: 200, Horizon: 1000,
+	}
+	s, err := smart.NewSimulation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Drain(100000) {
+		t.Fatal("drain failed through the facade")
+	}
+}
+
+func TestDefaultLoadsGrid(t *testing.T) {
+	loads := smart.DefaultLoads()
+	if len(loads) != 20 {
+		t.Fatalf("%d loads", len(loads))
+	}
+}
