@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench experiments quick clean
+.PHONY: all build vet test race bench profile experiments quick clean
 
 all: build vet test
 
@@ -16,11 +16,17 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core/ .
+	$(GO) test -race ./internal/obs/ ./internal/core/ .
 
 # One benchmark per table, figure and ablation of the paper.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# A short instrumented sweep: CPU profile in cpu.prof plus the live
+# progress line and per-stage engine timing report on stderr.
+profile:
+	$(GO) run ./cmd/sweep -quick -v -net tree -vcs 2 -pattern uniform -cpuprofile cpu.prof
+	@echo "wrote cpu.prof; inspect with: $(GO) tool pprof cpu.prof"
 
 # The complete evaluation at the paper's methodology (tens of minutes);
 # results land in experiments_full.txt and results/.

@@ -44,6 +44,20 @@ var paperPatterns = []string{
 	smart.PatternTranspose, smart.PatternBitRev,
 }
 
+// BenchmarkUniform is the observability-overhead guard: one uniform-
+// traffic tree run through the plain Run path, which must stay on the
+// uninstrumented fast path (no profiler, reporter or logger attached),
+// so internal/obs may cost nothing here.
+func BenchmarkUniform(b *testing.B) {
+	benchRun(b, smart.Config{
+		Network:   smart.NetworkTree,
+		Algorithm: smart.AlgAdaptive,
+		VCs:       2,
+		Pattern:   smart.PatternUniform,
+		Load:      0.5,
+	})
+}
+
 // BenchmarkTable1 regenerates the cube router delays of Table 1.
 func BenchmarkTable1(b *testing.B) {
 	var rows []cost.Timing

@@ -4,6 +4,11 @@
 //
 //	batch -config study.json [-csv results.csv] [-workers 4]
 //	batch -scaffold > study.json    # emit a template to start from
+//
+// Observability (internal/obs): -v adds structured run logs, a live
+// progress line and a final per-stage engine timing report on stderr;
+// -manifest appends one JSONL record per configuration; and
+// -cpuprofile/-memprofile/-trace feed go tool pprof/trace.
 package main
 
 import (
@@ -11,14 +16,18 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"time"
 
 	"smart/internal/core"
+	"smart/internal/obs"
 	"smart/internal/results"
 )
 
 func main() {
+	obsFlags := obs.AddFlags(flag.CommandLine)
 	configPath := flag.String("config", "", "path to the JSON batch description")
 	csvPath := flag.String("csv", "", "also write results as CSV")
+	manifestPath := flag.String("manifest", "", "append one JSONL run record per configuration to this file")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel simulations")
 	scaffold := flag.Bool("scaffold", false, "print a template batch file and exit")
 	flag.Parse()
@@ -53,7 +62,33 @@ func main() {
 		os.Exit(1)
 	}
 
-	res, err := b.Run(*workers)
+	stopProf, err := obsFlags.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "batch:", err)
+		os.Exit(1)
+	}
+	opts := core.Options{Logger: obsFlags.Logger()}
+	var profiler *obs.StageProfiler
+	var progress *obs.Progress
+	if obsFlags.Verbose {
+		profiler = obs.NewStageProfiler()
+		progress = obs.NewProgress(os.Stderr, len(b.Configs), 2*time.Second)
+		progress.Start()
+		opts.Profiler = profiler
+		opts.Progress = progress
+	}
+	if *manifestPath != "" {
+		mf, err := os.Create(*manifestPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "batch:", err)
+			os.Exit(1)
+		}
+		defer mf.Close()
+		opts.Manifest = obs.NewManifestWriter(mf)
+	}
+
+	res, err := b.RunWith(*workers, opts)
+	progress.Stop()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "batch:", err)
 		os.Exit(1)
@@ -87,5 +122,18 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("\nwrote %s\n", *csvPath)
+	}
+	if *manifestPath != "" {
+		fmt.Printf("\nrun manifest written to %s\n", *manifestPath)
+	}
+
+	if profiler != nil {
+		fmt.Fprintln(os.Stderr)
+		fmt.Fprintln(os.Stderr, "per-stage engine timing (hottest first):")
+		fmt.Fprint(os.Stderr, obs.FormatStageReport(profiler.Report()))
+	}
+	if err := stopProf(); err != nil {
+		fmt.Fprintln(os.Stderr, "batch:", err)
+		os.Exit(1)
 	}
 }

@@ -23,6 +23,7 @@ import (
 
 	"smart/internal/core"
 	"smart/internal/cost"
+	"smart/internal/obs"
 	"smart/internal/results"
 )
 
@@ -38,10 +39,12 @@ var paperSaturation = map[string]map[string]float64{
 var patterns = []string{"uniform", "complement", "transpose", "bitrev"}
 
 func main() {
+	obsFlags := obs.AddFlags(flag.CommandLine)
 	quick := flag.Bool("quick", false, "coarse grid and short horizon (preview quality)")
 	ablate := flag.Bool("ablations", false, "also run the extension/ablation studies")
 	seed := flag.Uint64("seed", 1, "random seed")
 	csvDir := flag.String("csvdir", "", "write every series as CSV files into this directory")
+	manifestPath := flag.String("manifest", "", "append one JSONL run record per simulation to this file")
 	flag.Parse()
 
 	step := 0.05
@@ -84,6 +87,30 @@ func main() {
 
 	// ---- Figures 5, 6, 7 ----
 	configs := core.PaperConfigs()
+
+	stopProf, err := obsFlags.Start()
+	if err != nil {
+		fatal(err)
+	}
+	opts := core.Options{Logger: obsFlags.Logger()}
+	var profiler *obs.StageProfiler
+	var progress *obs.Progress
+	if obsFlags.Verbose {
+		profiler = obs.NewStageProfiler()
+		progress = obs.NewProgress(os.Stderr, len(patterns)*len(configs)*len(loads), 5*time.Second)
+		progress.Start()
+		opts.Profiler = profiler
+		opts.Progress = progress
+	}
+	if *manifestPath != "" {
+		mf, err := os.Create(*manifestPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer mf.Close()
+		opts.Manifest = obs.NewManifestWriter(mf)
+	}
+
 	type sweepKey struct{ pattern, label string }
 	sweeps := map[sweepKey][]core.Result{}
 	labels := make([]string, len(configs))
@@ -92,7 +119,9 @@ func main() {
 			cfg.Pattern = pattern
 			cfg.Seed = *seed
 			cfg.Warmup, cfg.Horizon = warmup, horizon
-			swept, err := core.Sweep(cfg, loads, runtime.GOMAXPROCS(0))
+			o := opts
+			o.Batch = cfg.Label() + "/" + pattern
+			swept, err := core.SweepWith(cfg, loads, runtime.GOMAXPROCS(0), o)
 			if err != nil {
 				fatal(err)
 			}
@@ -101,6 +130,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "swept %-22s %-11s (%s elapsed)\n", labels[i], pattern, time.Since(start).Round(time.Second))
 		}
 	}
+	progress.Stop()
 
 	figure := func(title, figure string, selected []string, pattern string) {
 		fmt.Printf("== %s (%s, %s traffic) ==\n\n", title, figure, pattern)
@@ -185,6 +215,14 @@ func main() {
 		runAblations(loads, warmup, horizon, *seed, *csvDir)
 	}
 
+	if profiler != nil {
+		fmt.Fprintln(os.Stderr)
+		fmt.Fprintln(os.Stderr, "per-stage engine timing (hottest first):")
+		fmt.Fprint(os.Stderr, obs.FormatStageReport(profiler.Report()))
+	}
+	if err := stopProf(); err != nil {
+		fatal(err)
+	}
 	fmt.Printf("total wall time %s\n", time.Since(start).Round(time.Second))
 }
 

@@ -16,12 +16,14 @@ import (
 
 	"smart/internal/chanstats"
 	"smart/internal/core"
+	"smart/internal/obs"
 	"smart/internal/topology"
 )
 
 func main() {
 	var cfg core.Config
 	var network, alg string
+	obsFlags := obs.AddFlags(flag.CommandLine)
 	flag.StringVar(&network, "net", "tree", "network family: tree or cube")
 	flag.IntVar(&cfg.K, "k", 0, "radix (default: 4 for the tree, 16 for the cube)")
 	flag.IntVar(&cfg.N, "n", 0, "dimension/levels (default: 4 for the tree, 2 for the cube)")
@@ -43,12 +45,23 @@ func main() {
 	cfg.Network = core.NetworkKind(network)
 	cfg.Algorithm = alg
 
+	stopProf, err := obsFlags.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "netsim:", err)
+		os.Exit(1)
+	}
+	opts := core.Options{Logger: obsFlags.Logger()}
+	var profiler *obs.StageProfiler
+	if obsFlags.Verbose {
+		profiler = obs.NewStageProfiler()
+		opts.Profiler = profiler
+	}
 	sm, err := core.NewSimulation(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "netsim:", err)
 		os.Exit(1)
 	}
-	res, err := sm.Run()
+	res, err := sm.RunWith(opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "netsim:", err)
 		os.Exit(1)
@@ -99,5 +112,15 @@ func main() {
 		if ej, err := chanstats.Ejection(sm.Fabric, window); err == nil {
 			fmt.Printf("  ejection  %.3f\n", ej)
 		}
+	}
+
+	if profiler != nil {
+		fmt.Fprintln(os.Stderr)
+		fmt.Fprintln(os.Stderr, "per-stage engine timing (hottest first):")
+		fmt.Fprint(os.Stderr, obs.FormatStageReport(profiler.Report()))
+	}
+	if err := stopProf(); err != nil {
+		fmt.Fprintln(os.Stderr, "netsim:", err)
+		os.Exit(1)
 	}
 }

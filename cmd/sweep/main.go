@@ -10,6 +10,13 @@
 //	sweep -net tree -vcs 1 -pattern uniform          # one curve of Fig 5a
 //	sweep -net cube -alg duato -pattern transpose    # one curve of Fig 6e
 //	sweep -net tree -vcs 4 -pattern bitrev -csv out.csv
+//
+// Observability (internal/obs): -v adds structured run logs, a live
+// progress line and a final per-stage engine timing report on stderr;
+// -manifest appends one JSONL record per run (config, seed, sample,
+// wall time); -cpuprofile/-memprofile/-trace feed go tool pprof/trace.
+//
+//	sweep -net tree -vcs 2 -quick -v -manifest runs.jsonl -cpuprofile cpu.prof
 package main
 
 import (
@@ -17,17 +24,21 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"time"
 
 	"smart/internal/core"
+	"smart/internal/obs"
 	"smart/internal/plot"
 	"smart/internal/results"
 )
 
 func main() {
 	var cfg core.Config
-	var network, alg, csvPath string
+	var network, alg, csvPath, manifestPath string
 	var step float64
 	var quick bool
+	obsFlags := obs.AddFlags(flag.CommandLine)
+	flag.StringVar(&manifestPath, "manifest", "", "append one JSONL run record per load point to this file")
 	flag.StringVar(&network, "net", "tree", "network family: tree or cube")
 	flag.IntVar(&cfg.K, "k", 0, "radix")
 	flag.IntVar(&cfg.N, "n", 0, "dimension/levels")
@@ -58,7 +69,34 @@ func main() {
 	for l := step; l <= 1.0001; l += step {
 		loads = append(loads, l)
 	}
-	swept, err := core.Sweep(cfg, loads, runtime.GOMAXPROCS(0))
+
+	stopProf, err := obsFlags.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+	opts := core.Options{Logger: obsFlags.Logger()}
+	var profiler *obs.StageProfiler
+	var progress *obs.Progress
+	if obsFlags.Verbose {
+		profiler = obs.NewStageProfiler()
+		progress = obs.NewProgress(os.Stderr, len(loads), 2*time.Second)
+		progress.Start()
+		opts.Profiler = profiler
+		opts.Progress = progress
+	}
+	if manifestPath != "" {
+		mf, err := os.Create(manifestPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(1)
+		}
+		defer mf.Close()
+		opts.Manifest = obs.NewManifestWriter(mf)
+	}
+
+	swept, err := core.SweepWith(cfg, loads, runtime.GOMAXPROCS(0), opts)
+	progress.Stop()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		os.Exit(1)
@@ -121,5 +159,18 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("series written to %s\n", csvPath)
+	}
+	if manifestPath != "" {
+		fmt.Printf("run manifest written to %s\n", manifestPath)
+	}
+
+	if profiler != nil {
+		fmt.Fprintln(os.Stderr)
+		fmt.Fprintln(os.Stderr, "per-stage engine timing (hottest first):")
+		fmt.Fprint(os.Stderr, obs.FormatStageReport(profiler.Report()))
+	}
+	if err := stopProf(); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
 	}
 }

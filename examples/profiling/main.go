@@ -1,0 +1,57 @@
+// Engine profiling: where does the simulator's wall time go?
+//
+//	go run ./examples/profiling
+//
+// This example assembles the paper's 4-ary 4-tree under uniform traffic,
+// attaches the internal/obs stage profiler and progress reporter to the
+// engine, runs the experiment, and prints the per-stage timing report —
+// revealing which hardware structure (link transfer, crossbar, routing,
+// injection, credit commit, or the traffic process) dominates the
+// simulation, the first question any performance work on the hot path
+// has to answer.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"smart/internal/core"
+	"smart/internal/obs"
+)
+
+func main() {
+	cfg := core.Config{
+		Network:   core.NetworkTree, // 4-ary 4-tree, 256 nodes
+		Algorithm: core.AlgAdaptive,
+		VCs:       2,
+		Pattern:   core.PatternUniform,
+		Load:      0.5,
+		Seed:      1,
+		Warmup:    1000,
+		Horizon:   8000,
+	}
+	sm, err := core.NewSimulation(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	profiler := obs.NewStageProfiler()
+	progress := obs.NewProgress(os.Stderr, 1, 500*time.Millisecond)
+	progress.Start()
+	if _, err := sm.RunWith(core.Options{Profiler: profiler, Progress: progress}); err != nil {
+		log.Fatal(err)
+	}
+	progress.Stop()
+
+	report := profiler.Report()
+	fmt.Printf("\n%s (%s traffic, load %.2f) — per-stage engine timing:\n\n",
+		cfg.Label(), cfg.Pattern, cfg.Load)
+	fmt.Print(obs.FormatStageReport(report))
+
+	hottest := report[0]
+	fmt.Printf("\nhottest stage: %q — %s total over %d ticks (%s per tick)\n",
+		hottest.Name, hottest.Total.Round(time.Microsecond),
+		hottest.Ticks, hottest.PerTick().Round(time.Nanosecond))
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sync/atomic"
 )
 
 // Batch is a named set of experiment configurations, loadable from JSON.
@@ -45,29 +46,41 @@ func DecodeBatch(r io.Reader) (Batch, error) {
 }
 
 // Run executes every configuration of the batch, in parallel across
-// workers, and returns results in config order.
+// workers, and returns results in config order. RunWith is the same
+// under observers.
 func (b Batch) Run(workers int) ([]Result, error) {
-	if workers < 1 {
-		workers = 1
-	}
-	results := make([]Result, len(b.Configs))
-	errs := make([]error, len(b.Configs))
-	sem := make(chan struct{}, workers)
-	done := make(chan struct{})
-	for i, cfg := range b.Configs {
-		go func(i int, cfg Config) {
-			sem <- struct{}{}
-			defer func() { <-sem; done <- struct{}{} }()
-			results[i], errs[i] = Run(cfg)
-		}(i, cfg)
-	}
-	for range b.Configs {
-		<-done
-	}
-	for _, err := range errs {
+	return b.RunWith(workers, Options{})
+}
+
+// RunWith executes the batch under observers. A failing configuration's
+// error carries the batch name, the config's index and fingerprint, and
+// how far the batch had progressed when it failed, and the same context
+// is emitted as a structured event — a mid-batch failure no longer
+// discards which run died.
+func (b Batch) RunWith(workers int, opts Options) ([]Result, error) {
+	opts.Batch = b.Name
+	var completed atomic.Int64
+	results, err := runAll(len(b.Configs), workers, func(i int) (Result, error) {
+		cfg := b.Configs[i]
+		o := opts
+		o.Index = i
+		res, err := RunWith(cfg, o)
 		if err != nil {
-			return nil, err
+			done := completed.Load()
+			err = fmt.Errorf("core: batch %q config %d (fingerprint %s, after %d/%d runs completed): %w",
+				b.Name, i, cfg.Fingerprint(), done, len(b.Configs), err)
+			if opts.Logger != nil {
+				opts.Logger.Error("batch config failed",
+					"batch", b.Name, "index", i, "cfg", cfg.Fingerprint(),
+					"completed", done, "total", len(b.Configs), "err", err)
+			}
+			return res, err
 		}
+		completed.Add(1)
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return results, nil
 }

@@ -8,6 +8,7 @@ package core
 
 import (
 	"fmt"
+	"hash/fnv"
 
 	"smart/internal/cost"
 	"smart/internal/phys"
@@ -151,6 +152,17 @@ func (c Config) WithDefaults() Config {
 		c.InjLanes = 1
 	}
 	return c
+}
+
+// Fingerprint returns a short stable hash of the fully-defaulted
+// configuration — the run identity stamped into logs, manifests and
+// batch errors. Configurations that differ only in unset-versus-default
+// fields share a fingerprint, matching the simulator's behaviour.
+func (c Config) Fingerprint() string {
+	c = c.WithDefaults()
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%+v", c)
+	return fmt.Sprintf("%016x", h.Sum64())
 }
 
 // Label returns a compact identifier for result tables, e.g.

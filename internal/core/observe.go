@@ -1,0 +1,175 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"time"
+
+	"smart/internal/obs"
+)
+
+// Options threads the observability spine (internal/obs) through the
+// experiment layer. Every field is optional; the zero value is the
+// uninstrumented fast path, so Run/Sweep/Batch.Run cost nothing extra
+// when nobody is watching.
+type Options struct {
+	// Logger receives structured run events, scoped per run with the
+	// config fingerprint, label, pattern, seed and load attached once.
+	Logger *slog.Logger
+	// Profiler, when set, is attached to every simulation's engine and
+	// accumulates per-stage wall time across the whole workload.
+	Profiler *obs.StageProfiler
+	// Progress, when set, is notified as runs complete.
+	Progress *obs.Progress
+	// Manifest, when set, receives one JSONL record per completed run.
+	Manifest *obs.ManifestWriter
+	// Batch and Index stamp manifest records and errors with the run's
+	// position in an enclosing study; SweepWith and Batch.RunWith set
+	// Index themselves.
+	Batch string
+	Index int
+}
+
+// observed reports whether any observer is attached.
+func (o Options) observed() bool {
+	return o.Logger != nil || o.Profiler != nil || o.Progress != nil || o.Manifest != nil
+}
+
+// RunWith executes one experiment with the paper's methodology under the
+// given observers. With zero Options it is exactly Run.
+func RunWith(cfg Config, opts Options) (Result, error) {
+	s, err := NewSimulation(cfg)
+	if err != nil {
+		if opts.Logger != nil {
+			opts.Logger.Error("simulation assembly failed",
+				"cfg", cfg.Fingerprint(), "err", err)
+		}
+		return Result{}, err
+	}
+	return s.RunWith(opts)
+}
+
+// RunWith executes the assembled experiment under the given observers.
+func (s *Simulation) RunWith(opts Options) (Result, error) {
+	if !opts.observed() {
+		return s.Run()
+	}
+	cfg := s.Config
+	logger := obs.RunLogger(opts.Logger, cfg.Fingerprint(), cfg.Label(), cfg.Pattern, cfg.Seed, cfg.Load)
+	if opts.Profiler != nil {
+		opts.Profiler.Attach(s.Engine)
+	}
+	if logger != nil {
+		logger.Debug("run starting", "warmup", cfg.Warmup, "horizon", cfg.Horizon)
+	}
+	start := time.Now()
+	res, err := s.Run()
+	wall := time.Since(start)
+	cycles := s.Engine.Cycle()
+	if err != nil {
+		if logger != nil {
+			logger.Error("run failed", "err", err, "wall_ms", wallMS(wall))
+		}
+		return res, err
+	}
+	if logger != nil {
+		logger.Info("run complete",
+			"cycles", cycles,
+			"wall_ms", wallMS(wall),
+			"cycles_per_sec", float64(cycles)/wall.Seconds(),
+			"accepted", res.Sample.Accepted,
+			"latency_cycles", res.Sample.AvgLatency)
+	}
+	if opts.Progress != nil {
+		opts.Progress.RunDone(cfg.Load, cycles)
+	}
+	if opts.Manifest != nil {
+		rec, rerr := runRecord(res, cycles, wall, opts)
+		if rerr == nil {
+			rerr = opts.Manifest.Write(rec)
+		}
+		if rerr != nil {
+			return res, fmt.Errorf("core: run manifest: %w", rerr)
+		}
+	}
+	return res, nil
+}
+
+// runRecord assembles the manifest line for one completed run.
+func runRecord(res Result, cycles int64, wall time.Duration, opts Options) (obs.RunRecord, error) {
+	cfg := res.Config
+	raw, err := json.Marshal(cfg)
+	if err != nil {
+		return obs.RunRecord{}, err
+	}
+	return obs.RunRecord{
+		Schema:      obs.RunSchema,
+		Batch:       opts.Batch,
+		Index:       opts.Index,
+		Label:       cfg.Label(),
+		Pattern:     cfg.Pattern,
+		Seed:        cfg.Seed,
+		Load:        cfg.Load,
+		Fingerprint: cfg.Fingerprint(),
+		Config:      raw,
+		Sample:      res.Sample,
+		Cycles:      cycles,
+		WallMS:      wallMS(wall),
+	}, nil
+}
+
+func wallMS(d time.Duration) float64 {
+	return float64(d.Nanoseconds()) / 1e6
+}
+
+// SweepWith is Sweep under observers: the Progress reporter sees every
+// completed load point, the Manifest gets one record per run (Index is
+// the load's position in the grid), and the Profiler aggregates stage
+// time across all parallel engines.
+func SweepWith(base Config, loads []float64, workers int, opts Options) ([]Result, error) {
+	if opts.Logger != nil {
+		opts.Logger.Info("sweep starting",
+			"cfg", base.Fingerprint(), "label", base.WithDefaults().Label(),
+			"runs", len(loads), "workers", workers)
+	}
+	results, err := runAll(len(loads), workers, func(i int) (Result, error) {
+		cfg := base
+		cfg.Load = loads[i]
+		o := opts
+		o.Index = i
+		return RunWith(cfg, o)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// runAll executes n indexed runs across at most workers goroutines and
+// returns results in index order, or the first error encountered.
+func runAll(n, workers int, run func(i int) (Result, error)) ([]Result, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	results := make([]Result, n)
+	errs := make([]error, n)
+	sem := make(chan struct{}, workers)
+	done := make(chan struct{})
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			sem <- struct{}{}
+			defer func() { <-sem; done <- struct{}{} }()
+			results[i], errs[i] = run(i)
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		<-done
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}

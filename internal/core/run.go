@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sync"
 
 	"smart/internal/cost"
 	"smart/internal/metrics"
@@ -156,33 +155,9 @@ func (s *Simulation) Drain(maxExtra int64) bool {
 // Sweep runs the configuration at each offered load, in parallel across
 // min(workers, len(loads)) goroutines (each simulation is an independent
 // deterministic function of its config), and returns results ordered as
-// the loads.
+// the loads. SweepWith is the same under observers.
 func Sweep(base Config, loads []float64, workers int) ([]Result, error) {
-	if workers < 1 {
-		workers = 1
-	}
-	results := make([]Result, len(loads))
-	errs := make([]error, len(loads))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
-	for i, load := range loads {
-		wg.Add(1)
-		go func(i int, load float64) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			cfg := base
-			cfg.Load = load
-			results[i], errs[i] = Run(cfg)
-		}(i, load)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return results, nil
+	return SweepWith(base, loads, workers, Options{})
 }
 
 // SeriesOf extracts the metrics series from sweep results.

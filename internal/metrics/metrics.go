@@ -17,36 +17,39 @@ import (
 	"smart/internal/wormhole"
 )
 
-// Sample is the outcome of one simulation at one offered load.
+// Sample is the outcome of one simulation at one offered load. The JSON
+// tags fix the field names of the run-manifest schema (internal/obs), so
+// renames here are schema changes.
 type Sample struct {
 	// Offered is the nominal injection rate as a fraction of capacity.
-	Offered float64
+	Offered float64 `json:"offered"`
 	// CreatedLoad is the measured packet creation rate as a fraction of
 	// capacity. It differs from Offered by Bernoulli noise and, for
 	// permutations with fixed points (the paper's transpose and
 	// bit-reversal have 16 silent nodes on 256), by the non-injecting
 	// fraction. Saturation is defined against this rate (§6: "the
 	// accepted bandwidth is lower than the global packet creation rate").
-	CreatedLoad float64
+	CreatedLoad float64 `json:"created_load"`
 	// Accepted is the delivered traffic as a fraction of capacity,
 	// measured over the window.
-	Accepted float64
+	Accepted float64 `json:"accepted"`
 	// AcceptedFlits is the same in flits per node per cycle.
-	AcceptedFlits float64
+	AcceptedFlits float64 `json:"accepted_flits"`
 	// AvgLatency is the mean network latency, in cycles, of packets
 	// delivered inside the window.
-	AvgLatency float64
+	AvgLatency float64 `json:"avg_latency"`
 	// P95Latency is the 95th-percentile network latency in cycles.
-	P95Latency float64
+	P95Latency float64 `json:"p95_latency"`
 	// AvgHeadLatency is the mean header latency (injection to header
 	// arrival) in cycles.
-	AvgHeadLatency float64
+	AvgHeadLatency float64 `json:"avg_head_latency"`
 	// AvgHops is the mean number of switch traversals of delivered
 	// packets.
-	AvgHops float64
+	AvgHops float64 `json:"avg_hops"`
 	// PacketsDelivered counts packets whose tail arrived inside the
 	// window; PacketsCreated counts packets generated inside it.
-	PacketsDelivered, PacketsCreated int64
+	PacketsDelivered int64 `json:"packets_delivered"`
+	PacketsCreated   int64 `json:"packets_created"`
 }
 
 // Window measures a fabric over [warmup, horizon). Snapshot the counters

@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// Flags is the shared observability flag set of the commands:
+// -cpuprofile, -memprofile, -trace for the standard Go profilers, and
+// -v/-log-format for structured run logging. Register with AddFlags
+// before flag.Parse, then bracket main's work with Start and its
+// returned stop function.
+type Flags struct {
+	CPUProfile string
+	MemProfile string
+	Trace      string
+	Verbose    bool
+	LogFormat  string
+}
+
+// AddFlags registers the observability flags on fs (flag.CommandLine in
+// the commands) and returns the struct they populate.
+func AddFlags(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+	fs.StringVar(&f.MemProfile, "memprofile", "", "write a heap profile to this file on exit")
+	fs.StringVar(&f.Trace, "trace", "", "write a runtime execution trace to this file (go tool trace)")
+	fs.BoolVar(&f.Verbose, "v", false, "structured run logging and live progress on stderr")
+	fs.StringVar(&f.LogFormat, "log-format", FormatText, "log format: text or json")
+	return f
+}
+
+// Logger builds the logger the flags describe, or nil when -v is off —
+// the library layers treat a nil logger as "no logging" and skip all
+// formatting work.
+func (f *Flags) Logger() *slog.Logger {
+	if !f.Verbose {
+		return nil
+	}
+	return NewLogger(os.Stderr, f.LogFormat)
+}
+
+// Start begins CPU profiling and execution tracing as requested. The
+// returned stop function ends them and, if -memprofile was given,
+// writes the heap profile; call it exactly once on the normal exit
+// path (profiles are simply truncated if the process aborts first).
+func (f *Flags) Start() (stop func() error, err error) {
+	var cpu, tr *os.File
+	if f.CPUProfile != "" {
+		cpu, err = os.Create(f.CPUProfile)
+		if err != nil {
+			return nil, fmt.Errorf("obs: -cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpu); err != nil {
+			cpu.Close()
+			return nil, fmt.Errorf("obs: -cpuprofile: %w", err)
+		}
+	}
+	if f.Trace != "" {
+		tr, err = os.Create(f.Trace)
+		if err == nil {
+			err = trace.Start(tr)
+		}
+		if err != nil {
+			if cpu != nil {
+				pprof.StopCPUProfile()
+				cpu.Close()
+			}
+			if tr != nil {
+				tr.Close()
+			}
+			return nil, fmt.Errorf("obs: -trace: %w", err)
+		}
+	}
+	return func() error {
+		var firstErr error
+		if cpu != nil {
+			pprof.StopCPUProfile()
+			firstErr = cpu.Close()
+		}
+		if tr != nil {
+			trace.Stop()
+			if err := tr.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		if f.MemProfile != "" {
+			mf, err := os.Create(f.MemProfile)
+			if err == nil {
+				runtime.GC() // materialize the retained heap before the snapshot
+				err = pprof.WriteHeapProfile(mf)
+				if cerr := mf.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("obs: -memprofile: %w", err)
+			}
+		}
+		return firstErr
+	}, nil
+}

@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestAddFlagsRegistersAndDefaults(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := AddFlags(fs)
+	if err := fs.Parse([]string{"-v", "-log-format", "json", "-cpuprofile", "x.prof"}); err != nil {
+		t.Fatal(err)
+	}
+	if !f.Verbose || f.LogFormat != FormatJSON || f.CPUProfile != "x.prof" {
+		t.Fatalf("flags not bound: %+v", f)
+	}
+	quiet := AddFlags(flag.NewFlagSet("quiet", flag.ContinueOnError))
+	if quiet.Logger() != nil {
+		t.Fatal("logger without -v should be nil (the no-op fast path)")
+	}
+	if f.Logger() == nil {
+		t.Fatal("logger with -v is nil")
+	}
+}
+
+func TestFlagsStartWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	f := &Flags{
+		CPUProfile: filepath.Join(dir, "cpu.prof"),
+		MemProfile: filepath.Join(dir, "mem.prof"),
+		Trace:      filepath.Join(dir, "trace.out"),
+	}
+	stop, err := f.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile has something to sample.
+	sink := 0
+	for i := 0; i < 1_000_000; i++ {
+		sink += i * i
+	}
+	_ = sink
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{f.CPUProfile, f.MemProfile, f.Trace} {
+		info, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Size() == 0 {
+			t.Fatalf("%s is empty", path)
+		}
+	}
+}
+
+func TestNewLoggerFormats(t *testing.T) {
+	var buf bytes.Buffer
+	NewLogger(&buf, FormatJSON).Info("hello", "k", 1)
+	if !bytes.Contains(buf.Bytes(), []byte(`"msg":"hello"`)) {
+		t.Fatalf("json log malformed: %s", buf.String())
+	}
+	buf.Reset()
+	NewLogger(&buf, FormatText).Info("hello", "k", 1)
+	if !bytes.Contains(buf.Bytes(), []byte("msg=hello")) {
+		t.Fatalf("text log malformed: %s", buf.String())
+	}
+}
+
+func TestRunLoggerNilBase(t *testing.T) {
+	if RunLogger(nil, "f", "l", "p", 1, 0.5) != nil {
+		t.Fatal("RunLogger(nil, ...) must stay nil")
+	}
+	var buf bytes.Buffer
+	lg := RunLogger(NewLogger(&buf, FormatText), "f", "tree", "uniform", 1, 0.5)
+	lg.Info("run complete")
+	for _, want := range []string{"cfg=f", "label=tree", "pattern=uniform", "seed=1", "load=0.5"} {
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Fatalf("scoped attr %q missing: %s", want, buf.String())
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"smart/internal/metrics"
+)
+
+// RunSchema versions the manifest record layout. Decoders reject
+// records whose schema they do not understand.
+const RunSchema = "smart/run/v1"
+
+// RunRecord is one line of a JSONL run manifest: everything needed to
+// identify, reproduce and score a single simulation — the declarative
+// config and its fingerprint, the seed, the measured sample, and the
+// wall-time cost. Manifests are append-only machine-readable
+// trajectories of an experiment campaign, suitable for BENCH_*.json
+// style tooling.
+type RunRecord struct {
+	Schema string `json:"schema"`
+	// Batch names the enclosing batch or study ("" for ad-hoc runs);
+	// Index is the run's position within it (config index of a batch,
+	// load index of a sweep).
+	Batch string `json:"batch,omitempty"`
+	Index int    `json:"index"`
+	// Label, Pattern, Seed and Load identify the experiment point;
+	// Fingerprint hashes the fully-defaulted config; Config is its
+	// complete JSON encoding.
+	Label       string          `json:"label"`
+	Pattern     string          `json:"pattern"`
+	Seed        uint64          `json:"seed"`
+	Load        float64         `json:"load"`
+	Fingerprint string          `json:"fingerprint"`
+	Config      json.RawMessage `json:"config"`
+	// Sample is the windowed measurement; Cycles the simulated cycle
+	// count; WallMS the run's wall time in milliseconds.
+	Sample metrics.Sample `json:"sample"`
+	Cycles int64          `json:"cycles"`
+	WallMS float64        `json:"wall_ms"`
+}
+
+// ManifestWriter appends RunRecords to a stream as JSONL, one record
+// per line. Safe for concurrent use by parallel runners.
+type ManifestWriter struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+// NewManifestWriter wraps w; the caller keeps ownership of w and closes
+// it after the last Write.
+func NewManifestWriter(w io.Writer) *ManifestWriter {
+	return &ManifestWriter{enc: json.NewEncoder(w)}
+}
+
+// Write appends one record, stamping the schema if unset.
+func (m *ManifestWriter) Write(rec RunRecord) error {
+	if rec.Schema == "" {
+		rec.Schema = RunSchema
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.enc.Encode(rec); err != nil {
+		return fmt.Errorf("obs: writing manifest record: %w", err)
+	}
+	return nil
+}
+
+// DecodeManifest reads every record of a JSONL manifest, rejecting
+// unknown fields (mirroring core.DecodeBatch, so schema drift fails
+// loudly) and unknown schema versions.
+func DecodeManifest(r io.Reader) ([]RunRecord, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var recs []RunRecord
+	for {
+		var rec RunRecord
+		if err := dec.Decode(&rec); err != nil {
+			if errors.Is(err, io.EOF) {
+				return recs, nil
+			}
+			return nil, fmt.Errorf("obs: decoding manifest record %d: %w", len(recs), err)
+		}
+		if rec.Schema != RunSchema {
+			return nil, fmt.Errorf("obs: manifest record %d has unknown schema %q (want %q)", len(recs), rec.Schema, RunSchema)
+		}
+		recs = append(recs, rec)
+	}
+}

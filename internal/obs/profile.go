@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"smart/internal/sim"
+)
+
+// StageProfiler times every engine stage it is attached to, answering
+// the question the cost model can only ask: which hardware structure —
+// link transfer, crossbar, routing, injection, credits — dominates the
+// simulator's wall time. One profiler may be attached to many engines
+// (e.g. every simulation of a parallel sweep); counters are merged by
+// stage name in the report. All methods are safe for concurrent use.
+type StageProfiler struct {
+	mu     sync.Mutex
+	stages []*timedStage
+}
+
+// timedStage wraps a stage with atomic tick/time accumulators so the
+// per-cycle hot path never takes a lock.
+type timedStage struct {
+	inner sim.Stage
+	ticks atomic.Int64
+	ns    atomic.Int64
+}
+
+func (t *timedStage) Name() string { return t.inner.Name() }
+
+func (t *timedStage) Tick(cycle int64) {
+	start := time.Now()
+	t.inner.Tick(cycle)
+	t.ns.Add(int64(time.Since(start)))
+	t.ticks.Add(1)
+}
+
+// NewStageProfiler returns an empty profiler.
+func NewStageProfiler() *StageProfiler {
+	return &StageProfiler{}
+}
+
+// Attach wraps every stage currently registered on the engine with a
+// timer. Attach once per engine, after all stages are registered (a
+// second Attach would time the timers).
+func (p *StageProfiler) Attach(e *sim.Engine) {
+	e.Instrument(func(s sim.Stage) sim.Stage {
+		ts := &timedStage{inner: s}
+		p.mu.Lock()
+		p.stages = append(p.stages, ts)
+		p.mu.Unlock()
+		return ts
+	})
+}
+
+// StageTiming is the aggregate cost of one named stage across every
+// engine the profiler is attached to.
+type StageTiming struct {
+	Name  string
+	Ticks int64
+	Total time.Duration
+}
+
+// PerTick returns the mean cost of one invocation.
+func (t StageTiming) PerTick() time.Duration {
+	if t.Ticks == 0 {
+		return 0
+	}
+	return t.Total / time.Duration(t.Ticks)
+}
+
+// TicksPerSec returns the stage's throughput in cycles per second of
+// its own execution time.
+func (t StageTiming) TicksPerSec() float64 {
+	if t.Total <= 0 {
+		return 0
+	}
+	return float64(t.Ticks) / t.Total.Seconds()
+}
+
+// Report merges the counters by stage name and returns them sorted by
+// total time, hottest first (ties broken by name for determinism). It
+// may be called while engines are still running; each counter is read
+// atomically, so the report is a consistent-enough snapshot for live
+// progress displays.
+func (p *StageProfiler) Report() []StageTiming {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	byName := make(map[string]*StageTiming)
+	order := make([]string, 0, len(p.stages))
+	for _, ts := range p.stages {
+		name := ts.Name()
+		agg, ok := byName[name]
+		if !ok {
+			agg = &StageTiming{Name: name}
+			byName[name] = agg
+			order = append(order, name)
+		}
+		agg.Ticks += ts.ticks.Load()
+		agg.Total += time.Duration(ts.ns.Load())
+	}
+	report := make([]StageTiming, 0, len(order))
+	for _, name := range order {
+		report = append(report, *byName[name])
+	}
+	sort.Slice(report, func(i, j int) bool {
+		if report[i].Total != report[j].Total {
+			return report[i].Total > report[j].Total
+		}
+		return report[i].Name < report[j].Name
+	})
+	return report
+}
+
+// Total returns the summed time of all stages — the engine wall time
+// attributable to stage work.
+func (p *StageProfiler) Total() time.Duration {
+	var total time.Duration
+	for _, t := range p.Report() {
+		total += t.Total
+	}
+	return total
+}
+
+// FormatStageReport renders a report as an aligned text table with each
+// stage's share of the total, e.g.
+//
+//	stage      ticks     total      per-tick   cycles/s     share
+//	link       80000     1.92s      24.0µs     41.6k        48.1%
+func FormatStageReport(report []StageTiming) string {
+	var grand time.Duration
+	for _, t := range report {
+		grand += t.Total
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %10s %12s %12s %12s %8s\n",
+		"stage", "ticks", "total", "per-tick", "cycles/s", "share")
+	for _, t := range report {
+		share := 0.0
+		if grand > 0 {
+			share = 100 * float64(t.Total) / float64(grand)
+		}
+		fmt.Fprintf(&b, "%-12s %10d %12s %12s %12s %7.1f%%\n",
+			t.Name, t.Ticks,
+			t.Total.Round(time.Microsecond),
+			t.PerTick().Round(time.Nanosecond),
+			formatRate(t.TicksPerSec()), share)
+	}
+	return b.String()
+}
+
+// formatRate renders a cycles-per-second figure compactly (1.2M, 431k).
+func formatRate(r float64) string {
+	switch {
+	case r >= 1e6:
+		return fmt.Sprintf("%.1fM", r/1e6)
+	case r >= 1e3:
+		return fmt.Sprintf("%.1fk", r/1e3)
+	default:
+		return fmt.Sprintf("%.0f", r)
+	}
+}

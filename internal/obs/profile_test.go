@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"smart/internal/sim"
+)
+
+// spin busy-waits for roughly d so stage cost dominates timer overhead.
+func spin(d time.Duration) {
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+	}
+}
+
+func TestStageProfilerTotalsSumToEngineWallTime(t *testing.T) {
+	e := sim.NewEngine()
+	e.RegisterFunc("heavy", func(int64) { spin(400 * time.Microsecond) })
+	e.RegisterFunc("light", func(int64) { spin(100 * time.Microsecond) })
+	p := NewStageProfiler()
+	p.Attach(e)
+
+	start := time.Now()
+	e.Run(40)
+	wall := time.Since(start)
+
+	total := p.Total()
+	if total > wall {
+		t.Fatalf("stage total %v exceeds engine wall time %v", total, wall)
+	}
+	// The stages busy-wait for nearly the whole run; the profiler must
+	// attribute the bulk of the wall time to them.
+	if total < wall/2 {
+		t.Fatalf("stage total %v is under half the engine wall time %v", total, wall)
+	}
+}
+
+func TestStageProfilerReportSortedAndCounted(t *testing.T) {
+	e := sim.NewEngine()
+	e.RegisterFunc("light", func(int64) { spin(50 * time.Microsecond) })
+	e.RegisterFunc("heavy", func(int64) { spin(300 * time.Microsecond) })
+	p := NewStageProfiler()
+	p.Attach(e)
+	const cycles = 30
+	e.Run(cycles)
+
+	report := p.Report()
+	if len(report) != 2 {
+		t.Fatalf("want 2 stages, got %d", len(report))
+	}
+	if report[0].Name != "heavy" {
+		t.Fatalf("hottest stage is %q, want heavy", report[0].Name)
+	}
+	for _, st := range report {
+		if st.Ticks != cycles {
+			t.Fatalf("stage %q ticked %d times, want %d", st.Name, st.Ticks, cycles)
+		}
+		if st.PerTick() <= 0 || st.TicksPerSec() <= 0 {
+			t.Fatalf("stage %q has empty derived stats: %+v", st.Name, st)
+		}
+	}
+}
+
+func TestStageProfilerMergesAcrossEngines(t *testing.T) {
+	p := NewStageProfiler()
+	for range [3]int{} {
+		e := sim.NewEngine()
+		e.RegisterFunc("shared", func(int64) {})
+		p.Attach(e)
+		e.Run(10)
+	}
+	report := p.Report()
+	if len(report) != 1 {
+		t.Fatalf("want one merged stage, got %d", len(report))
+	}
+	if report[0].Ticks != 30 {
+		t.Fatalf("merged ticks %d, want 30", report[0].Ticks)
+	}
+}
+
+func TestStageProfilerPreservesStageBehaviour(t *testing.T) {
+	e := sim.NewEngine()
+	var cycles []int64
+	e.RegisterFunc("rec", func(c int64) { cycles = append(cycles, c) })
+	NewStageProfiler().Attach(e)
+	e.Run(3)
+	if len(cycles) != 3 || cycles[0] != 0 || cycles[2] != 2 {
+		t.Fatalf("wrapped stage saw cycles %v", cycles)
+	}
+}
+
+func TestFormatStageReport(t *testing.T) {
+	e := sim.NewEngine()
+	e.RegisterFunc("routing", func(int64) { spin(20 * time.Microsecond) })
+	p := NewStageProfiler()
+	p.Attach(e)
+	e.Run(5)
+	out := FormatStageReport(p.Report())
+	for _, want := range []string{"stage", "routing", "share", "cycles/s"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}

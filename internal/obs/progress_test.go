@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestProgressCountsAreMonotone(t *testing.T) {
+	p := NewProgress(nil, 5, time.Hour)
+	prev := p.Snapshot()
+	if prev.Completed != 0 || prev.Total != 5 {
+		t.Fatalf("fresh snapshot %+v", prev)
+	}
+	for i := 0; i < 5; i++ {
+		p.RunDone(0.1*float64(i+1), 1000)
+		s := p.Snapshot()
+		if s.Completed != prev.Completed+1 {
+			t.Fatalf("completed went %d -> %d", prev.Completed, s.Completed)
+		}
+		if s.Cycles < prev.Cycles {
+			t.Fatalf("cycles went %d -> %d", prev.Cycles, s.Cycles)
+		}
+		prev = s
+	}
+	if prev.Completed != 5 || prev.Cycles != 5000 {
+		t.Fatalf("final snapshot %+v", prev)
+	}
+	if prev.ETA != 0 {
+		t.Fatalf("completed workload still has ETA %v", prev.ETA)
+	}
+}
+
+func TestProgressEmitLines(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress(&buf, 3, time.Hour)
+	for i := 0; i < 3; i++ {
+		p.RunDone(0.5, 2000)
+		p.Emit()
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want 3 lines, got %d:\n%s", len(lines), buf.String())
+	}
+	for i, line := range lines {
+		want := fmt.Sprintf("%d/3 runs", i+1)
+		if !strings.Contains(line, want) {
+			t.Fatalf("line %d missing %q: %s", i, want, line)
+		}
+		if !strings.Contains(line, "load 0.50") {
+			t.Fatalf("line %d missing load: %s", i, line)
+		}
+	}
+	if !strings.Contains(lines[2], "done") {
+		t.Fatalf("final line not terminal: %s", lines[2])
+	}
+}
+
+// lockedBuffer makes bytes.Buffer safe for the ticker goroutine.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func TestProgressStartStop(t *testing.T) {
+	var buf lockedBuffer
+	p := NewProgress(&buf, 2, time.Millisecond)
+	p.Start()
+	p.Start() // idempotent
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.RunDone(0.3, 500)
+		}()
+	}
+	wg.Wait()
+	time.Sleep(5 * time.Millisecond)
+	p.Stop()
+	out := buf.String()
+	if !strings.Contains(out, "2/2 runs") {
+		t.Fatalf("final progress line missing:\n%s", out)
+	}
+	// Stop emitted a line and halted the ticker; a second Stop is safe.
+	p.Stop()
+}
+
+func TestProgressNilReceiver(t *testing.T) {
+	var p *Progress
+	p.Start()
+	p.RunDone(0.5, 100)
+	p.Emit()
+	p.Stop()
+	if s := p.Snapshot(); s.Completed != 0 {
+		t.Fatalf("nil progress snapshot %+v", s)
+	}
+}

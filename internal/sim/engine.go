@@ -65,6 +65,19 @@ func (e *Engine) AddStop(c StopCondition) {
 	e.stops = append(e.stops, c)
 }
 
+// Instrument replaces every registered stage s with wrap(s), preserving
+// registration order. A nil result keeps the original stage. The
+// observability layer uses this to time stages without the engine paying
+// any cost when nothing is attached: an uninstrumented engine ticks the
+// bare stages exactly as before.
+func (e *Engine) Instrument(wrap func(Stage) Stage) {
+	for i, s := range e.stages {
+		if w := wrap(s); w != nil {
+			e.stages[i] = w
+		}
+	}
+}
+
 // Cycle returns the index of the cycle currently executing, or, between
 // Run calls, the index of the next cycle to execute.
 func (e *Engine) Cycle() int64 { return e.cycle }

@@ -115,3 +115,39 @@ func TestEngineZeroHorizonNoop(t *testing.T) {
 		t.Fatalf("Run(0) executed stages (end=%d ran=%v)", end, ran)
 	}
 }
+
+// countingStage wraps another stage, recording invocations, for
+// TestEngineInstrument.
+type countingStage struct {
+	inner Stage
+	calls *int
+}
+
+func (c countingStage) Name() string { return c.inner.Name() }
+func (c countingStage) Tick(cycle int64) {
+	*c.calls++
+	c.inner.Tick(cycle)
+}
+
+func TestEngineInstrument(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	for _, name := range []string{"a", "b"} {
+		name := name
+		e.RegisterFunc(name, func(int64) { order = append(order, name) })
+	}
+	calls := 0
+	e.Instrument(func(s Stage) Stage {
+		if s.Name() == "b" {
+			return nil // nil keeps the original stage
+		}
+		return countingStage{inner: s, calls: &calls}
+	})
+	e.Run(3)
+	if calls != 3 {
+		t.Fatalf("wrapped stage ticked %d times, want 3", calls)
+	}
+	if len(order) != 6 || order[0] != "a" || order[1] != "b" {
+		t.Fatalf("instrumentation disturbed stage order: %v", order)
+	}
+}
