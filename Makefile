@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench profile experiments quick clean
+.PHONY: all build vet test race bench bench-fabric profile experiments quick clean
 
 all: build vet test
 
@@ -21,6 +21,13 @@ race:
 # One benchmark per table, figure and ablation of the paper.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Fabric hot-path benchmark grid ({tree,cube} x load {0.2,0.6,0.9});
+# appends a record to the committed perf trajectory. Set LABEL to name
+# the revision being measured.
+LABEL ?= local
+bench-fabric:
+	$(GO) run ./cmd/benchfabric -label $(LABEL) -o BENCH_fabric.json -append
 
 # A short instrumented sweep: CPU profile in cpu.prof plus the live
 # progress line and per-stage engine timing report on stderr.

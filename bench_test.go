@@ -246,6 +246,31 @@ func BenchmarkExtensionPipelinedWires(b *testing.B) {
 	}
 }
 
+// BenchmarkFabric is the tracked hot-path suite: the raw per-cycle cost
+// of the two 256-node fabrics at low, medium and saturation offered
+// loads. ns/op is ns/cycle; the cycles/sec metric is its reciprocal.
+// cmd/benchfabric runs the same grid programmatically and records the
+// results in BENCH_fabric.json, the perf trajectory future PRs defend.
+func BenchmarkFabric(b *testing.B) {
+	for _, network := range []smart.NetworkKind{smart.NetworkTree, smart.NetworkCube} {
+		for _, load := range []float64{0.2, 0.6, 0.9} {
+			b.Run(fmt.Sprintf("%s/load=%.1f", network, load), func(b *testing.B) {
+				cfg := smart.Config{Network: network, Load: load, Seed: 1}
+				s, err := smart.NewSimulation(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				s.Engine.Run(500) // settle into steady state at this load
+				b.ReportAllocs()
+				b.ResetTimer()
+				start := s.Engine.Cycle()
+				s.Engine.Run(start + int64(b.N))
+				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "cycles/sec")
+			})
+		}
+	}
+}
+
 // BenchmarkSimulatorSpeed measures the raw simulation rate of the two
 // 256-node fabrics in cycles per second (the engineering metric of the
 // simulator itself, not a paper figure).

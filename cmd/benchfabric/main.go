@@ -1,0 +1,117 @@
+// Command benchfabric measures the wormhole fabric's raw per-cycle cost
+// — the same {tree,cube} x load {0.2,0.6,0.9} grid as BenchmarkFabric in
+// bench_test.go — and records the results as JSON. The committed
+// BENCH_fabric.json holds one record per measured revision, so the
+// repository carries its own perf trajectory:
+//
+//	go run ./cmd/benchfabric -label my-change -o BENCH_fabric.json -append
+//
+// appends a record to the existing file; without -append the file is
+// replaced by a single record.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"smart"
+)
+
+// point is one measured (network, load) cell.
+type point struct {
+	Network      string  `json:"network"`
+	Load         float64 `json:"load"`
+	NSPerCycle   float64 `json:"ns_per_cycle"`
+	CyclesPerSec float64 `json:"cycles_per_sec"`
+	AllocsPerCyc float64 `json:"allocs_per_cycle"`
+	BytesPerCyc  float64 `json:"bytes_per_cycle"`
+}
+
+// record is one measured revision.
+type record struct {
+	Schema    string  `json:"schema"`
+	Label     string  `json:"label"`
+	Timestamp string  `json:"timestamp"`
+	GoVersion string  `json:"go_version"`
+	Results   []point `json:"results"`
+}
+
+func measure(network smart.NetworkKind, load float64) (point, error) {
+	var fail error
+	res := testing.Benchmark(func(b *testing.B) {
+		s, err := smart.NewSimulation(smart.Config{Network: network, Load: load, Seed: 1})
+		if err != nil {
+			fail = err
+			b.Skip()
+		}
+		s.Engine.Run(500) // settle into steady state at this load
+		b.ReportAllocs()
+		b.ResetTimer()
+		start := s.Engine.Cycle()
+		s.Engine.Run(start + int64(b.N))
+	})
+	if fail != nil {
+		return point{}, fail
+	}
+	nsPerCycle := float64(res.T.Nanoseconds()) / float64(res.N)
+	return point{
+		Network:      string(network),
+		Load:         load,
+		NSPerCycle:   nsPerCycle,
+		CyclesPerSec: 1e9 / nsPerCycle,
+		AllocsPerCyc: float64(res.MemAllocs) / float64(res.N),
+		BytesPerCyc:  float64(res.MemBytes) / float64(res.N),
+	}, nil
+}
+
+func main() {
+	label := flag.String("label", "local", "label for this record (e.g. a change name)")
+	out := flag.String("o", "BENCH_fabric.json", "output file")
+	appendTo := flag.Bool("append", false, "append to the existing file instead of replacing it")
+	flag.Parse()
+
+	rec := record{
+		Schema:    "smart/bench-fabric/v1",
+		Label:     *label,
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+	}
+	for _, network := range []smart.NetworkKind{smart.NetworkTree, smart.NetworkCube} {
+		for _, load := range []float64{0.2, 0.6, 0.9} {
+			p, err := measure(network, load)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchfabric: %s load %.1f: %v\n", network, load, err)
+				os.Exit(1)
+			}
+			fmt.Printf("%-5s load=%.1f  %10.0f cycles/sec  %8.1f ns/cycle  %6.2f allocs/cycle\n",
+				network, p.Load, p.CyclesPerSec, p.NSPerCycle, p.AllocsPerCyc)
+			rec.Results = append(rec.Results, p)
+		}
+	}
+
+	var records []record
+	if *appendTo {
+		if buf, err := os.ReadFile(*out); err == nil {
+			if err := json.Unmarshal(buf, &records); err != nil {
+				fmt.Fprintf(os.Stderr, "benchfabric: existing %s is not a record array: %v\n", *out, err)
+				os.Exit(1)
+			}
+		}
+	}
+	records = append(records, rec)
+	buf, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchfabric:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchfabric:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d records)\n", *out, len(records))
+}

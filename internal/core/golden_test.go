@@ -1,0 +1,189 @@
+package core
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"smart/internal/metrics"
+	"smart/internal/wormhole"
+)
+
+// The golden determinism fixtures pin the fabric's cycle-accurate
+// behaviour bit-for-bit: for a set of fixed-seed configurations spanning
+// both topology families, deterministic and adaptive routing and 1 and 4
+// virtual channels, the fabric must reproduce the recorded Counters,
+// per-link flit traffic and measurement Sample exactly. Any hot-path
+// change that alters arbitration order, credit timing or injection
+// pacing shows up here as a diff, not as a silently shifted latency
+// curve. Regenerate with: go test ./internal/core -run TestGoldenFabric -update-golden
+var updateGolden = flag.Bool("update-golden", false, "rewrite the golden fabric fixtures")
+
+const goldenPath = "testdata/golden_fabric.json"
+
+// goldenCase names one pinned configuration.
+type goldenCase struct {
+	Name string `json:"name"`
+	Cfg  Config `json:"config"`
+}
+
+// goldenRecord is the recorded outcome of one golden case.
+type goldenRecord struct {
+	Name string `json:"name"`
+	// Counters are the fabric's running totals at the horizon.
+	Counters wormhole.Counters `json:"counters"`
+	// LinkFlitsSum and LinkFlitsHash bind the full per-link flit matrix:
+	// the sum catches magnitude drift, the FNV-1a hash over every
+	// (router, port, count) triple catches any redistribution.
+	LinkFlitsSum  int64  `json:"link_flits_sum"`
+	LinkFlitsHash string `json:"link_flits_hash"`
+	// Sample is the measurement-window outcome (Result.Sample).
+	Sample metrics.Sample `json:"sample"`
+}
+
+// goldenCases spans tree+cube x {deterministic, adaptive} x VCs {1,4}.
+// On the tree the deterministic point is the digit-aligned ascent (the
+// oblivious policy); on the cube the disciplines fix VCs = 4, so the VC
+// axis is exercised on the tree and the algorithm axis on both.
+func goldenCases() []goldenCase {
+	short := func(c Config, load float64) Config {
+		c.Pattern = PatternUniform
+		c.Load = load
+		c.Seed = 7
+		c.Warmup, c.Horizon = 300, 1500
+		return c
+	}
+	return []goldenCase{
+		{"tree-adaptive-1vc-load035", short(Config{Network: NetworkTree, Algorithm: AlgAdaptive, VCs: 1}, 0.35)},
+		{"tree-adaptive-4vc-load035", short(Config{Network: NetworkTree, Algorithm: AlgAdaptive, VCs: 4}, 0.35)},
+		{"tree-deterministic-1vc-load035", short(Config{Network: NetworkTree, Algorithm: AlgAdaptive, VCs: 1, TreeAscent: "digit-aligned"}, 0.35)},
+		{"tree-deterministic-4vc-load035", short(Config{Network: NetworkTree, Algorithm: AlgAdaptive, VCs: 4, TreeAscent: "digit-aligned"}, 0.35)},
+		{"cube-deterministic-4vc-load035", short(Config{Network: NetworkCube, Algorithm: AlgDeterministic, VCs: 4}, 0.35)},
+		{"cube-adaptive-4vc-load035", short(Config{Network: NetworkCube, Algorithm: AlgDuato, VCs: 4}, 0.35)},
+		{"tree-adaptive-4vc-load080", short(Config{Network: NetworkTree, Algorithm: AlgAdaptive, VCs: 4}, 0.80)},
+		{"cube-adaptive-4vc-load080", short(Config{Network: NetworkCube, Algorithm: AlgDuato, VCs: 4}, 0.80)},
+	}
+}
+
+// runGolden executes one case and records its outcome.
+func runGolden(t *testing.T, gc goldenCase) goldenRecord {
+	t.Helper()
+	s, err := NewSimulation(gc.Cfg)
+	if err != nil {
+		t.Fatalf("%s: %v", gc.Name, err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatalf("%s: %v", gc.Name, err)
+	}
+	h := fnv.New64a()
+	var sum int64
+	deg := s.Top.Degree()
+	for r := 0; r < s.Top.Routers(); r++ {
+		for p := 0; p < deg; p++ {
+			n := s.Fabric.LinkFlits(r, p)
+			sum += n
+			fmt.Fprintf(h, "%d/%d=%d;", r, p, n)
+		}
+	}
+	return goldenRecord{
+		Name:          gc.Name,
+		Counters:      s.Fabric.Counters(),
+		LinkFlitsSum:  sum,
+		LinkFlitsHash: fmt.Sprintf("%016x", h.Sum64()),
+		Sample:        res.Sample,
+	}
+}
+
+func TestGoldenFabric(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden fixtures are full 256-node runs")
+	}
+	got := make([]goldenRecord, 0, len(goldenCases()))
+	for _, gc := range goldenCases() {
+		got = append(got, runGolden(t, gc))
+	}
+	if *updateGolden {
+		buf, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(buf, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d fixtures to %s", len(got), goldenPath)
+		return
+	}
+	buf, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading fixtures (regenerate with -update-golden): %v", err)
+	}
+	var want []goldenRecord
+	if err := json.Unmarshal(buf, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(got) {
+		t.Fatalf("fixture count %d != case count %d (regenerate with -update-golden)", len(want), len(got))
+	}
+	for i := range got {
+		g, w := got[i], want[i]
+		if g.Name != w.Name {
+			t.Fatalf("case %d: name %q, fixture %q", i, g.Name, w.Name)
+		}
+		if g.Counters != w.Counters {
+			t.Errorf("%s: counters %+v, want %+v", g.Name, g.Counters, w.Counters)
+		}
+		if g.LinkFlitsSum != w.LinkFlitsSum || g.LinkFlitsHash != w.LinkFlitsHash {
+			t.Errorf("%s: link flits sum=%d hash=%s, want sum=%d hash=%s",
+				g.Name, g.LinkFlitsSum, g.LinkFlitsHash, w.LinkFlitsSum, w.LinkFlitsHash)
+		}
+		if g.Sample != w.Sample {
+			t.Errorf("%s: sample %+v, want %+v", g.Name, g.Sample, w.Sample)
+		}
+	}
+}
+
+// TestGoldenInvariantsSlowMode is the slow-mode variant: it steps two of
+// the golden configurations cycle by cycle with the fabric's structural
+// invariant checks (credit conservation, binding reciprocity, work-list
+// consistency) between cycles, then drains and re-verifies.
+func TestGoldenInvariantsSlowMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow-mode invariant sweep")
+	}
+	for _, gc := range []goldenCase{
+		{"tree-adaptive-2vc-slow", Config{Network: NetworkTree, Algorithm: AlgAdaptive, VCs: 2,
+			Pattern: PatternUniform, Load: 0.5, Seed: 11, Warmup: 100, Horizon: 400}},
+		{"cube-adaptive-4vc-slow", Config{Network: NetworkCube, Algorithm: AlgDuato, VCs: 4,
+			Pattern: PatternUniform, Load: 0.5, Seed: 11, Warmup: 100, Horizon: 400}},
+	} {
+		t.Run(gc.Name, func(t *testing.T) {
+			s, err := NewSimulation(gc.Cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for s.Engine.Cycle() < gc.Cfg.Horizon {
+				s.Engine.Step()
+				if err := s.Fabric.CheckInvariants(); err != nil {
+					t.Fatalf("cycle %d: %v", s.Engine.Cycle(), err)
+				}
+			}
+			if !s.Drain(100000) {
+				t.Fatal("network did not drain")
+			}
+			if err := s.Fabric.CheckInvariants(); err != nil {
+				t.Fatalf("after drain: %v", err)
+			}
+			if got := s.Fabric.QueuedPackets(); got != 0 {
+				t.Fatalf("QueuedPackets = %d after drain", got)
+			}
+		})
+	}
+}

@@ -83,6 +83,20 @@ func Pow(base, exp int) (int, error) {
 	return result, nil
 }
 
+// FlattenPorts copies every router's port table into one contiguous
+// slice of length Routers()*Degree(), indexed by r*Degree()+p. The
+// wormhole fabric caches it at construction so its per-cycle inner loops
+// index a flat array instead of calling back through the Topology
+// interface.
+func FlattenPorts(t Topology) []Port {
+	deg := t.Degree()
+	flat := make([]Port, t.Routers()*deg)
+	for r := 0; r < t.Routers(); r++ {
+		copy(flat[r*deg:(r+1)*deg], t.RouterPorts(r))
+	}
+	return flat
+}
+
 // Validate checks that a topology's port tables are mutually consistent:
 // every router-to-router port is matched by a reciprocal port on the peer,
 // and every node attachment points at a PortNode port that names the node

@@ -1,0 +1,94 @@
+package wormhole
+
+import "testing"
+
+func TestDenseSetBasics(t *testing.T) {
+	s := newDenseSet(8)
+	if s.len() != 0 {
+		t.Fatalf("new set has %d members", s.len())
+	}
+	s.add(3)
+	s.add(5)
+	s.add(3) // duplicate add is a no-op
+	if s.len() != 2 || !s.contains(3) || !s.contains(5) || s.contains(4) {
+		t.Fatalf("after adds: len=%d members=%v", s.len(), s.items)
+	}
+	s.remove(4) // removing a non-member is a no-op
+	if s.len() != 2 {
+		t.Fatalf("no-op remove changed len to %d", s.len())
+	}
+	s.remove(3)
+	if s.len() != 1 || s.contains(3) || !s.contains(5) {
+		t.Fatalf("after remove: len=%d members=%v", s.len(), s.items)
+	}
+	s.remove(5)
+	if s.len() != 0 {
+		t.Fatalf("set not empty after removing all: %v", s.items)
+	}
+	// Re-adding after removal must work (positions reset).
+	s.add(5)
+	if !s.contains(5) || s.len() != 1 {
+		t.Fatal("re-add after remove failed")
+	}
+}
+
+func TestDenseSetSwapRemoveConsistency(t *testing.T) {
+	s := newDenseSet(64)
+	for v := int32(0); v < 64; v += 2 {
+		s.add(v)
+	}
+	// Remove from the middle repeatedly; the position index must stay
+	// consistent with the items slice throughout.
+	for v := int32(0); v < 64; v += 4 {
+		s.remove(v)
+	}
+	for i, v := range s.items {
+		if s.pos[v] != int32(i) {
+			t.Fatalf("pos[%d]=%d but items[%d]=%d", v, s.pos[v], i, v)
+		}
+	}
+	for v := int32(0); v < 64; v++ {
+		want := v%2 == 0 && v%4 != 0
+		if s.contains(v) != want {
+			t.Fatalf("contains(%d)=%v, want %v", v, s.contains(v), want)
+		}
+	}
+}
+
+// TestInjectedWorkListCorruptionDetected verifies that CheckInvariants
+// catches a work list disagreeing with the underlying lane state — the
+// fault mode a bug in the incremental maintenance would produce.
+func TestInjectedWorkListCorruptionDetected(t *testing.T) {
+	f, _ := loadedFabric(t)
+	// Drop an active port from the link work list.
+	if f.linkActive.len() == 0 {
+		t.Fatal("fixture has no active ports")
+	}
+	pid := f.linkActive.items[0]
+	f.linkActive.remove(pid)
+	err := f.CheckInvariants()
+	if err == nil {
+		t.Fatal("link work-list corruption not detected")
+	}
+	f.linkActive.add(pid)
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatalf("fixture unhealthy after restore: %v", err)
+	}
+
+	// Corrupt the queued-packet counter.
+	f.queued++
+	if err := f.CheckInvariants(); err == nil {
+		t.Fatal("queued-counter corruption not detected")
+	}
+	f.queued--
+
+	// Drop a router from the routing work list, if any are pending.
+	if f.routeActive.len() > 0 {
+		r := f.routeActive.items[0]
+		f.routeActive.remove(r)
+		if err := f.CheckInvariants(); err == nil {
+			t.Fatal("routing work-list corruption not detected")
+		}
+		f.routeActive.add(r)
+	}
+}

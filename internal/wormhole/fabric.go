@@ -73,19 +73,6 @@ func (c Config) validate() error {
 	return nil
 }
 
-// router is the per-switch state: input and output lanes per port, plus
-// the fair-arbitration pointers.
-type router struct {
-	in  [][]inLane  // [port][lane]
-	out [][]outLane // [port][lane]
-	// routeScan flattens the input (port, lane) pairs the routing stage
-	// scans; routeRR is the round-robin pointer into it.
-	routeScan []laneRef
-	routeRR   int
-	// linkRR is the per-output-port round-robin pointer over lanes.
-	linkRR []int
-}
-
 // nicLane is one injection stream of a NIC. With source throttling
 // (InjLanes == 1) a node has a single stream, so at most one packet is
 // entering the network at any time.
@@ -97,11 +84,36 @@ type nicLane struct {
 
 // nic is a processing node's network interface: an unbounded source queue
 // of generated packets and the injection stream(s) feeding the router's
-// injection lane(s). Ejection needs no state: the node consumes flits at
-// link rate.
+// injection lane(s). The queue is consumed through a head index so a pop
+// costs O(1) regardless of backlog. base is the flat index of the first
+// input lane of the router port this NIC injects into. Ejection needs no
+// state: the node consumes flits at link rate.
 type nic struct {
 	queue []PacketID
+	head  int
 	lanes []nicLane
+	base  int32
+}
+
+// qlen returns the number of packets waiting in the source queue.
+func (nc *nic) qlen() int { return len(nc.queue) - nc.head }
+
+// qpop removes and returns the oldest queued packet. The consumed prefix
+// is reclaimed when the queue empties, and compacted once it dominates
+// the backing array, so a long-lived saturated queue does not retain
+// unbounded dead storage.
+func (nc *nic) qpop() PacketID {
+	id := nc.queue[nc.head]
+	nc.head++
+	if nc.head == len(nc.queue) {
+		nc.queue = nc.queue[:0]
+		nc.head = 0
+	} else if nc.head >= 256 && nc.head*2 >= len(nc.queue) {
+		n := copy(nc.queue, nc.queue[nc.head:])
+		nc.queue = nc.queue[:n]
+		nc.head = 0
+	}
+	return id
 }
 
 // Counters aggregates the fabric's running totals; metrics snapshot them
@@ -117,6 +129,18 @@ type Counters struct {
 // Fabric is a complete simulated network: topology, routers, NICs and the
 // packet table, advanced one cycle at a time by the stages it registers on
 // a sim.Engine.
+//
+// Router state is flattened for locality: all input and output lanes live
+// in two contiguous per-fabric arrays indexed by precomputed (router,
+// port) offsets, and the topology's port tables are cached in a flat
+// array, so the per-cycle stages never chase jagged slices or call back
+// through the Topology interface. On top of that layout the fabric keeps
+// incremental active-set work lists — which output ports hold flits,
+// which input lanes are bound to an output, which routers present an
+// unrouted header, which NICs have pending traffic — maintained at the
+// points where occupancy, binding and queue state change, so each stage's
+// cost scales with the traffic actually moving rather than with the
+// network size. See DESIGN.md ("Hot path") for the membership invariants.
 type Fabric struct {
 	Top topology.Topology
 	Cfg Config
@@ -128,8 +152,43 @@ type Fabric struct {
 	// Tracer, when non-nil, observes routing and delivery events.
 	Tracer Tracer
 
-	routers []router
-	nics    []nic
+	// Flattened router state. Ports are addressed by pid = r*deg + p;
+	// the input lanes of a port are in[inOff[pid]:inOff[pid+1]] and its
+	// output lanes out[outOff[pid]:outOff[pid+1]]. Because ports are
+	// laid out router-major, a router's input lanes form the contiguous
+	// range in[inOff[r*deg]:inOff[(r+1)*deg]] — the routing stage's scan
+	// list, in the same (port, lane) order the jagged layout used.
+	deg    int
+	ports  []topology.Port
+	in     []inLane
+	out    []outLane
+	inOff  []int32
+	outOff []int32
+
+	// Round-robin arbitration pointers: routeRR indexes a router's
+	// input-lane scan range, linkRR a port's output lanes.
+	routeRR []int32
+	linkRR  []int32
+
+	// Active-set work lists. Membership invariants (checked by
+	// CheckInvariants):
+	//   linkActive:  ports with portOcc > 0 occupied output lanes
+	//   xbarActive:  input lanes with bound != noRef and n > 0
+	//   routeActive: routers with unrouted > 0 lanes (n > 0, unbound)
+	//   nicActive:   NICs with queued or part-injected packets
+	//   wireActive:  ports with flits in flight (LinkCycles > 1 only)
+	linkActive  denseSet
+	portOcc     []int32
+	xbarActive  denseSet
+	routeActive denseSet
+	unrouted    []int32
+	nicActive   denseSet
+	wireActive  denseSet
+	// scratch snapshots one work list at a stage's entry so membership
+	// updates during the stage cannot disturb the iteration.
+	scratch []int32
+
+	nics []nic
 
 	// Deferred credit returns, applied at the end of the cycle to model
 	// the one-cycle ack lines.
@@ -138,20 +197,21 @@ type Fabric struct {
 
 	counters     Counters
 	inFlight     int64 // flits injected but not yet delivered
+	queued       int64 // packets in source queues or part-way through injection
 	lastProgress int64
 	cycle        int64
 
-	// linkFlits[r][p] counts flits transmitted out of router r's port p
-	// (including ejection ports); internal/chanstats aggregates it into
-	// per-level and per-dimension channel utilization.
-	linkFlits [][]int64
+	// linkFlits[pid] counts flits transmitted out of port pid (including
+	// ejection ports); internal/chanstats aggregates it into per-level
+	// and per-dimension channel utilization.
+	linkFlits []int64
 
-	// wires[r][p] holds the flits in flight on the (pipelined) wire
-	// leaving router r's port p; allocated only when LinkCycles > 1.
-	// Constant flight time means arrival order equals send order, so a
-	// FIFO suffices, and the credit consumed at send time guarantees the
+	// wires[pid] holds the flits in flight on the (pipelined) wire
+	// leaving port pid; allocated only when LinkCycles > 1. Constant
+	// flight time means arrival order equals send order, so a FIFO
+	// suffices, and the credit consumed at send time guarantees the
 	// remote buffer slot on arrival.
-	wires [][]wireFIFO
+	wires []wireFIFO
 }
 
 // flight is one flit in transit on a pipelined wire.
@@ -189,6 +249,21 @@ type laneRefAt struct {
 	ref    laneRef
 }
 
+// laneCounts returns the input/output lane complement of a port kind.
+// The node port's input side is the injection channel; its output side
+// is the ejection channel with the full complement of virtual channels
+// ("the processing nodes have a compatible interface with the same
+// number of virtual channels", §4).
+func laneCounts(kind topology.PortKind, cfg Config) (inN, outN int) {
+	switch kind {
+	case topology.PortRouter:
+		return cfg.VCs, cfg.VCs
+	case topology.PortNode:
+		return cfg.InjLanes, cfg.VCs
+	}
+	return 0, 0
+}
+
 // NewFabric assembles a fabric over the given topology. The routing
 // algorithm's virtual-channel requirement must match cfg.VCs.
 func NewFabric(top topology.Topology, cfg Config, alg RoutingAlgorithm) (*Fabric, error) {
@@ -199,59 +274,90 @@ func NewFabric(top topology.Topology, cfg Config, alg RoutingAlgorithm) (*Fabric
 		return nil, fmt.Errorf("wormhole: algorithm %s needs %d VCs but config has %d", alg.Name(), alg.VCs(), cfg.VCs)
 	}
 	f := &Fabric{Top: top, Cfg: cfg, Alg: alg}
-	f.routers = make([]router, top.Routers())
-	for r := range f.routers {
-		ports := top.RouterPorts(r)
-		rt := &f.routers[r]
-		rt.in = make([][]inLane, len(ports))
-		rt.out = make([][]outLane, len(ports))
-		rt.linkRR = make([]int, len(ports))
-		for p, port := range ports {
-			var inN, outN int
-			switch port.Kind {
-			case topology.PortRouter:
-				inN, outN = cfg.VCs, cfg.VCs
-			case topology.PortNode:
-				// The node port's input side is the injection channel;
-				// its output side is the ejection channel with the full
-				// complement of virtual channels ("the processing nodes
-				// have a compatible interface with the same number of
-				// virtual channels", §4).
-				inN, outN = cfg.InjLanes, cfg.VCs
-			case topology.PortUnused:
-				inN, outN = 0, 0
+	routers, deg := top.Routers(), top.Degree()
+	f.deg = deg
+	f.ports = topology.FlattenPorts(top)
+	nPorts := routers * deg
+
+	// First pass: lane offsets per port.
+	f.inOff = make([]int32, nPorts+1)
+	f.outOff = make([]int32, nPorts+1)
+	var inTotal, outTotal int32
+	for pid := 0; pid < nPorts; pid++ {
+		f.inOff[pid] = inTotal
+		f.outOff[pid] = outTotal
+		inN, outN := laneCounts(f.ports[pid].Kind, cfg)
+		inTotal += int32(inN)
+		outTotal += int32(outN)
+	}
+	f.inOff[nPorts] = inTotal
+	f.outOff[nPorts] = outTotal
+
+	// Second pass: the lanes themselves, their buffers carved out of one
+	// contiguous flit arena.
+	arena := make([]Flit, (int(inTotal)+int(outTotal))*cfg.BufDepth)
+	next := 0
+	takeBuf := func() []Flit {
+		b := arena[next : next+cfg.BufDepth : next+cfg.BufDepth]
+		next += cfg.BufDepth
+		return b
+	}
+	f.in = make([]inLane, inTotal)
+	f.out = make([]outLane, outTotal)
+	for r := 0; r < routers; r++ {
+		for p := 0; p < deg; p++ {
+			pid := r*deg + p
+			for l := f.inOff[pid]; l < f.inOff[pid+1]; l++ {
+				f.in[l] = inLane{
+					fifo: fifo{buf: takeBuf()}, bound: noRef,
+					router: int32(r), port: int16(p), lane: int16(l - f.inOff[pid]),
+				}
 			}
-			rt.in[p] = make([]inLane, inN)
-			rt.out[p] = make([]outLane, outN)
-			for l := range rt.in[p] {
-				rt.in[p][l] = inLane{fifo: newFifo(cfg.BufDepth), bound: noRef}
-				rt.routeScan = append(rt.routeScan, packRef(p, l))
-			}
-			for l := range rt.out[p] {
-				rt.out[p][l] = outLane{fifo: newFifo(cfg.BufDepth), credits: int16(cfg.BufDepth), boundIn: noRef}
+			for l := f.outOff[pid]; l < f.outOff[pid+1]; l++ {
+				f.out[l] = outLane{fifo: fifo{buf: takeBuf()}, credits: int16(cfg.BufDepth), boundIn: noRef}
 			}
 		}
 	}
-	f.linkFlits = make([][]int64, top.Routers())
-	for r := range f.linkFlits {
-		f.linkFlits[r] = make([]int64, top.Degree())
-	}
+
+	f.routeRR = make([]int32, routers)
+	f.linkRR = make([]int32, nPorts)
+	f.linkFlits = make([]int64, nPorts)
+
+	f.linkActive = newDenseSet(nPorts)
+	f.portOcc = make([]int32, nPorts)
+	f.xbarActive = newDenseSet(int(inTotal))
+	f.routeActive = newDenseSet(routers)
+	f.unrouted = make([]int32, routers)
+	f.nicActive = newDenseSet(top.Nodes())
+
 	if cfg.LinkCycles > 1 {
-		f.wires = make([][]wireFIFO, top.Routers())
-		for r := range f.wires {
-			f.wires[r] = make([]wireFIFO, top.Degree())
-		}
+		f.wires = make([]wireFIFO, nPorts)
+		f.wireActive = newDenseSet(nPorts)
 	}
+
 	f.nics = make([]nic, top.Nodes())
 	for n := range f.nics {
 		lanes := make([]nicLane, cfg.InjLanes)
 		for l := range lanes {
 			lanes[l] = nicLane{cur: NoPacket, credit: int16(cfg.BufDepth)}
 		}
-		f.nics[n] = nic{lanes: lanes}
+		at := top.NodeAttach(n)
+		f.nics[n] = nic{lanes: lanes, base: f.inOff[at.Router*deg+at.Port]}
 	}
 	return f, nil
 }
+
+// inLaneAt returns input lane (port, lane) of router r.
+func (f *Fabric) inLaneAt(r, p, l int) *inLane { return &f.in[int(f.inOff[r*f.deg+p])+l] }
+
+// outLaneAt returns output lane (port, lane) of router r.
+func (f *Fabric) outLaneAt(r, p, l int) *outLane { return &f.out[int(f.outOff[r*f.deg+p])+l] }
+
+// inLanesOf returns the input lanes of port pid.
+func (f *Fabric) inLanesOf(pid int) []inLane { return f.in[f.inOff[pid]:f.inOff[pid+1]] }
+
+// outLanesOf returns the output lanes of port pid.
+func (f *Fabric) outLanesOf(pid int) []outLane { return f.out[f.outOff[pid]:f.outOff[pid+1]] }
 
 // Register installs the fabric's pipeline stages on the engine in the
 // canonical order: link transfer, crossbar transfer, routing, injection,
@@ -274,24 +380,15 @@ func (f *Fabric) Counters() Counters { return f.counters }
 func (f *Fabric) InFlight() int64 { return f.inFlight }
 
 // QueuedPackets returns the total number of packets waiting in source
-// queues or part-way through injection.
-func (f *Fabric) QueuedPackets() int64 {
-	var total int64
-	for n := range f.nics {
-		total += int64(len(f.nics[n].queue))
-		for _, ln := range f.nics[n].lanes {
-			if ln.cur != NoPacket {
-				total++
-			}
-		}
-	}
-	return total
-}
+// queues or part-way through injection. It is O(1): the fabric keeps the
+// count current at enqueue and at tail injection.
+func (f *Fabric) QueuedPackets() int64 { return f.queued }
 
 // Drained reports whether no traffic remains anywhere: source queues,
-// injection streams and the network itself are all empty.
+// injection streams and the network itself are all empty. It is O(1), so
+// per-cycle drain stop conditions cost nothing.
 func (f *Fabric) Drained() bool {
-	return f.inFlight == 0 && f.QueuedPackets() == 0
+	return f.inFlight == 0 && f.queued == 0
 }
 
 // EnqueuePacket creates a packet from src to dst at the given cycle and
@@ -308,6 +405,8 @@ func (f *Fabric) EnqueuePacket(src, dst int, cycle int64) PacketID {
 		CreatedAt: cycle, InjectedAt: -1, HeadAt: -1, TailAt: -1,
 	})
 	f.nics[src].queue = append(f.nics[src].queue, id)
+	f.queued++
+	f.nicActive.add(int32(src))
 	f.counters.PacketsCreated++
 	return id
 }
@@ -321,20 +420,20 @@ func (f *Fabric) Dest(id PacketID) int { return int(f.Packets[id].Dst) }
 // OutLaneFree reports whether output lane (port, lane) of router r can
 // accept a new packet: neither full nor bound to another input lane (§4).
 func (f *Fabric) OutLaneFree(r, port, lane int) bool {
-	return f.routers[r].out[port][lane].free()
+	return f.outLaneAt(r, port, lane).free()
 }
 
 // OutLaneCredits returns the credit count of output lane (port, lane) of
 // router r — the known free space in the downstream input lane.
 func (f *Fabric) OutLaneCredits(r, port, lane int) int {
-	return int(f.routers[r].out[port][lane].credits)
+	return int(f.outLaneAt(r, port, lane).credits)
 }
 
 // FreeLanes counts the free output lanes of (r, port) within lane index
 // range [lo, hi): the "number of free virtual channels" the fat-tree
 // algorithm uses to pick the least-loaded link (§2).
 func (f *Fabric) FreeLanes(r, port, lo, hi int) int {
-	lanes := f.routers[r].out[port]
+	lanes := f.outLanesOf(r*f.deg + port)
 	free := 0
 	for l := lo; l < hi && l < len(lanes); l++ {
 		if lanes[l].free() {
@@ -344,82 +443,159 @@ func (f *Fabric) FreeLanes(r, port, lo, hi int) int {
 	return free
 }
 
+// pushIn places a flit into input lane id. A lane transitioning from
+// empty enters the crossbar work list (if it is bound to an output) or
+// becomes a routing candidate (if not).
+func (f *Fabric) pushIn(id int32, fl Flit) {
+	il := &f.in[id]
+	wasEmpty := il.n == 0
+	il.push(fl)
+	if !wasEmpty {
+		return
+	}
+	if il.bound != noRef {
+		f.xbarActive.add(id)
+	} else {
+		f.addUnrouted(int(il.router))
+	}
+}
+
+// addUnrouted records that one more input lane of router r presents an
+// unrouted header.
+func (f *Fabric) addUnrouted(r int) {
+	f.unrouted[r]++
+	if f.unrouted[r] == 1 {
+		f.routeActive.add(int32(r))
+	}
+}
+
+// dropUnrouted records that an input lane of router r stopped presenting
+// an unrouted header (it was bound, or drained).
+func (f *Fabric) dropUnrouted(r int) {
+	f.unrouted[r]--
+	if f.unrouted[r] == 0 {
+		f.routeActive.remove(int32(r))
+	}
+}
+
+// pushOut places a flit into output lane ol of port pid, activating the
+// port's link arbitration when the lane transitions from empty.
+func (f *Fabric) pushOut(pid int32, ol *outLane, fl Flit) {
+	if ol.n == 0 {
+		f.portOcc[pid]++
+		if f.portOcc[pid] == 1 {
+			f.linkActive.add(pid)
+		}
+	}
+	ol.push(fl)
+}
+
+// popOut removes the front flit of output lane ol of port pid,
+// deactivating the port when its last occupied lane drains.
+func (f *Fabric) popOut(pid int32, ol *outLane) Flit {
+	fl := ol.pop()
+	if ol.n == 0 {
+		f.portOcc[pid]--
+		if f.portOcc[pid] == 0 {
+			f.linkActive.remove(pid)
+		}
+	}
+	return fl
+}
+
+// pushWire enqueues a flight on port pid's pipelined wire.
+func (f *Fabric) pushWire(pid int32, fl flight) {
+	w := &f.wires[pid]
+	if w.empty() {
+		f.wireActive.add(pid)
+	}
+	w.push(fl)
+}
+
 // linkStage moves at most one flit per physical channel direction: for
-// every output port it fair-arbitrates among the lanes holding a flit that
-// has a credit, and transfers the winner to the same-numbered input lane
-// of the neighbouring switch (or delivers it, for ejection channels). It
-// also advances the NIC injection streams, which are links in the same
-// sense.
+// every output port holding buffered flits it fair-arbitrates among the
+// lanes holding a flit that has a credit, and transfers the winner to the
+// same-numbered input lane of the neighbouring switch (or delivers it,
+// for ejection channels). Ports with no buffered flits are never
+// visited: at light load the stage walks the active work list; once the
+// list covers half the ports a sequential index-order sweep is cheaper
+// (better locality), and because per-port decisions are mutually
+// independent the two orders produce identical results.
 func (f *Fabric) linkStage(cycle int64) {
 	f.cycle = cycle
 	if f.wires != nil {
 		f.commitWireArrivals(cycle)
 	}
-	for r := range f.routers {
-		rt := &f.routers[r]
-		ports := f.Top.RouterPorts(r)
-		for p := range ports {
-			lanes := rt.out[p]
-			if len(lanes) == 0 {
+	if 2*f.linkActive.len() >= len(f.portOcc) {
+		for pid := range f.portOcc {
+			if f.portOcc[pid] > 0 {
+				f.linkPort(int32(pid), cycle)
+			}
+		}
+		return
+	}
+	f.scratch = append(f.scratch[:0], f.linkActive.items...)
+	for _, pid := range f.scratch {
+		f.linkPort(pid, cycle)
+	}
+}
+
+// linkPort arbitrates and advances one output port for the cycle.
+func (f *Fabric) linkPort(pid int32, cycle int64) {
+	port := &f.ports[pid]
+	lanes := f.outLanesOf(int(pid))
+	n := len(lanes)
+	start := int(f.linkRR[pid])
+	switch port.Kind {
+	case topology.PortRouter:
+		peerBase := f.inOff[port.Peer*f.deg+port.PeerPort]
+		for i := 0; i < n; i++ {
+			l := (start + i) % n
+			ol := &lanes[l]
+			if ol.n == 0 || ol.credits == 0 {
 				continue
 			}
-			switch ports[p].Kind {
-			case topology.PortRouter:
-				peer := &f.routers[ports[p].Peer]
-				peerIn := peer.in[ports[p].PeerPort]
-				n := len(lanes)
-				start := rt.linkRR[p]
-				for i := 0; i < n; i++ {
-					l := (start + i) % n
-					ol := &lanes[l]
-					if ol.n == 0 || ol.credits == 0 {
-						continue
-					}
-					fl := ol.front()
-					if fl.MovedAt >= cycle {
-						continue
-					}
-					moved := ol.pop()
-					moved.MovedAt = cycle
-					ol.credits--
-					if f.wires != nil {
-						f.wires[r][p].push(flight{fl: moved, lane: int16(l), at: cycle + int64(f.Cfg.LinkCycles) - 1})
-					} else {
-						peerIn[l].push(moved)
-					}
-					rt.linkRR[p] = (l + 1) % n
-					f.linkFlits[r][p]++
-					f.lastProgress = cycle
-					break
-				}
-			case topology.PortNode:
-				// Ejection channel: the node consumes one flit per cycle;
-				// its buffers never back-pressure the router.
-				n := len(lanes)
-				start := rt.linkRR[p]
-				for i := 0; i < n; i++ {
-					l := (start + i) % n
-					ol := &lanes[l]
-					if ol.n == 0 {
-						continue
-					}
-					fl := ol.front()
-					if fl.MovedAt >= cycle {
-						continue
-					}
-					moved := ol.pop()
-					if f.wires != nil {
-						moved.MovedAt = cycle
-						f.wires[r][p].push(flight{fl: moved, lane: int16(l), at: cycle + int64(f.Cfg.LinkCycles) - 1})
-					} else {
-						f.deliver(moved, cycle)
-					}
-					rt.linkRR[p] = (l + 1) % n
-					f.linkFlits[r][p]++
-					f.lastProgress = cycle
-					break
-				}
+			fl := ol.front()
+			if fl.MovedAt >= cycle {
+				continue
 			}
+			moved := f.popOut(pid, ol)
+			moved.MovedAt = cycle
+			ol.credits--
+			if f.wires != nil {
+				f.pushWire(pid, flight{fl: moved, lane: int16(l), at: cycle + int64(f.Cfg.LinkCycles) - 1})
+			} else {
+				f.pushIn(peerBase+int32(l), moved)
+			}
+			f.linkRR[pid] = int32((l + 1) % n)
+			f.linkFlits[pid]++
+			f.lastProgress = cycle
+			break
+		}
+	case topology.PortNode:
+		// Ejection channel: the node consumes one flit per cycle;
+		// its buffers never back-pressure the router.
+		for i := 0; i < n; i++ {
+			l := (start + i) % n
+			ol := &lanes[l]
+			if ol.n == 0 {
+				continue
+			}
+			fl := ol.front()
+			if fl.MovedAt >= cycle {
+				continue
+			}
+			moved := f.popOut(pid, ol)
+			if f.wires != nil {
+				moved.MovedAt = cycle
+				f.pushWire(pid, flight{fl: moved, lane: int16(l), at: cycle + int64(f.Cfg.LinkCycles) - 1})
+			} else {
+				f.deliver(moved, cycle)
+			}
+			f.linkRR[pid] = int32((l + 1) % n)
+			f.linkFlits[pid]++
+			f.lastProgress = cycle
+			break
 		}
 	}
 }
@@ -427,24 +603,26 @@ func (f *Fabric) linkStage(cycle int64) {
 // commitWireArrivals lands every in-flight flit whose flight time has
 // elapsed: into the neighbour's input lane (the credit consumed at send
 // time reserved the slot) or, on ejection wires, into the destination
-// NIC.
+// NIC. Only wires with flits in flight are visited.
 func (f *Fabric) commitWireArrivals(cycle int64) {
-	for r := range f.wires {
-		ports := f.Top.RouterPorts(r)
-		for p := range f.wires[r] {
-			w := &f.wires[r][p]
-			for !w.empty() && w.front().at <= cycle {
-				fl := w.pop()
-				switch ports[p].Kind {
-				case topology.PortRouter:
-					arrived := fl.fl
-					arrived.MovedAt = fl.at
-					f.routers[ports[p].Peer].in[ports[p].PeerPort][fl.lane].push(arrived)
-				case topology.PortNode:
-					f.deliver(fl.fl, fl.at)
-				}
-				f.lastProgress = cycle
+	f.scratch = append(f.scratch[:0], f.wireActive.items...)
+	for _, pid := range f.scratch {
+		w := &f.wires[pid]
+		port := &f.ports[pid]
+		for !w.empty() && w.front().at <= cycle {
+			fl := w.pop()
+			switch port.Kind {
+			case topology.PortRouter:
+				arrived := fl.fl
+				arrived.MovedAt = fl.at
+				f.pushIn(f.inOff[port.Peer*f.deg+port.PeerPort]+int32(fl.lane), arrived)
+			case topology.PortNode:
+				f.deliver(fl.fl, fl.at)
 			}
+			f.lastProgress = cycle
+		}
+		if w.empty() {
+			f.wireActive.remove(pid)
 		}
 	}
 }
@@ -479,48 +657,116 @@ func (f *Fabric) deliver(fl Flit, cycle int64) {
 // output lanes — one flit per lane per cycle, any number of lanes in
 // parallel ("multiple virtual channels can be active at the input and
 // output ports of the crossbar", §4) — and sends the credit back to the
-// upstream switch. The tail flit's passage releases both bindings.
+// upstream switch. The tail flit's passage releases both bindings. Only
+// lanes on the bound-and-occupied work list are visited — by index-order
+// sweep once the list covers half the lanes (better locality); per-lane
+// moves are independent because every output lane has exactly one bound
+// input, so iteration order cannot change the outcome.
 func (f *Fabric) crossbarStage(cycle int64) {
-	for r := range f.routers {
-		rt := &f.routers[r]
-		ports := f.Top.RouterPorts(r)
-		for p := range rt.in {
-			inLanes := rt.in[p]
-			for l := range inLanes {
-				il := &inLanes[l]
-				if il.n == 0 || il.bound == noRef {
-					continue
-				}
-				fl := il.front()
-				if fl.MovedAt >= cycle {
-					continue
-				}
-				op, olIdx := il.bound.unpack()
-				ol := &rt.out[op][olIdx]
-				if ol.full() {
-					continue
-				}
-				moved := il.pop()
-				moved.MovedAt = cycle
-				ol.push(moved)
-				f.lastProgress = cycle
-				if moved.Kind.IsTail() {
-					il.bound = noRef
-					ol.boundIn = noRef
-				}
-				// Ack to the upstream side: a buffer slot was released in
-				// this input lane.
-				switch ports[p].Kind {
-				case topology.PortRouter:
-					f.pendingCredits = append(f.pendingCredits, laneRefAt{
-						router: int32(ports[p].Peer),
-						ref:    packRef(ports[p].PeerPort, l),
-					})
-				case topology.PortNode:
-					f.pendingNIC = append(f.pendingNIC, int32(ports[p].Peer)*packRadix+int32(l))
-				}
+	if 2*f.xbarActive.len() >= len(f.in) {
+		for id := range f.in {
+			if il := &f.in[id]; il.n > 0 && il.bound != noRef {
+				f.xbarLane(int32(id), cycle)
 			}
 		}
+		return
+	}
+	f.scratch = append(f.scratch[:0], f.xbarActive.items...)
+	for _, id := range f.scratch {
+		f.xbarLane(id, cycle)
+	}
+}
+
+// xbarLane advances one bound input lane through the crossbar.
+func (f *Fabric) xbarLane(id int32, cycle int64) {
+	il := &f.in[id]
+	if il.n == 0 || il.bound == noRef {
+		return
+	}
+	fl := il.front()
+	if fl.MovedAt >= cycle {
+		return
+	}
+	r := int(il.router)
+	op, olIdx := il.bound.unpack()
+	opid := int32(r*f.deg + op)
+	ol := &f.out[f.outOff[opid]+int32(olIdx)]
+	if ol.full() {
+		return
+	}
+	moved := il.pop()
+	moved.MovedAt = cycle
+	f.pushOut(opid, ol, moved)
+	f.lastProgress = cycle
+	if moved.Kind.IsTail() {
+		il.bound = noRef
+		ol.boundIn = noRef
+		f.xbarActive.remove(id)
+		if il.n > 0 {
+			// The next packet's header is already buffered behind
+			// the departed tail: the lane presents it for routing.
+			f.addUnrouted(r)
+		}
+	} else if il.n == 0 {
+		f.xbarActive.remove(id)
+	}
+	// Ack to the upstream side: a buffer slot was released in
+	// this input lane.
+	port := &f.ports[r*f.deg+int(il.port)]
+	switch port.Kind {
+	case topology.PortRouter:
+		f.pendingCredits = append(f.pendingCredits, laneRefAt{
+			router: int32(port.Peer),
+			ref:    packRef(port.PeerPort, int(il.lane)),
+		})
+	case topology.PortNode:
+		f.pendingNIC = append(f.pendingNIC, int32(port.Peer)*packRadix+int32(il.lane))
+	}
+}
+
+// routeRouter gives router r its one routing decision for the cycle: a
+// round-robin scan over the router's contiguous input-lane range, in the
+// same (port, lane) order a dense per-port scan would use.
+func (f *Fabric) routeRouter(r int, cycle int64) {
+	base := f.inOff[r*f.deg]
+	n := int(f.inOff[(r+1)*f.deg] - base)
+	for i := 0; i < n; i++ {
+		idx := (int(f.routeRR[r]) + i) % n
+		id := base + int32(idx)
+		il := &f.in[id]
+		if il.n == 0 || il.bound != noRef {
+			continue
+		}
+		fl := il.front()
+		if fl.MovedAt >= cycle {
+			continue
+		}
+		p, l := int(il.port), int(il.lane)
+		if !fl.Kind.IsHead() {
+			panic(fmt.Sprintf("wormhole: unbound non-header flit at router %d port %d lane %d", r, p, l))
+		}
+		if f.Cfg.StoreAndForward && !il.holdsWholePacket(&f.Packets[fl.Packet]) {
+			continue
+		}
+		f.routeRR[r] = int32((idx + 1) % n)
+		op, ol, ok := f.Alg.Route(f, r, p, l, fl.Packet)
+		if ok {
+			out := f.outLaneAt(r, op, ol)
+			if !out.free() {
+				panic(fmt.Sprintf("wormhole: algorithm %s allocated non-free lane (%d,%d) at router %d", f.Alg.Name(), op, ol, r))
+			}
+			il.bound = packRef(op, ol)
+			out.boundIn = packRef(p, l)
+			fl.MovedAt = cycle // routing itself takes T_routing = 1 cycle
+			f.Packets[fl.Packet].Hops++
+			f.lastProgress = cycle
+			f.dropUnrouted(r)
+			f.xbarActive.add(id)
+			if f.Tracer != nil {
+				f.Tracer.HeaderRouted(cycle, fl.Packet, r, p, l, op, ol)
+			}
+		}
+		break // one routing decision per switch per cycle
 	}
 }
 
@@ -528,49 +774,25 @@ func (f *Fabric) crossbarStage(cycle int64) {
 // round-robin arbiter picks the next input lane presenting an unrouted
 // header and asks the routing algorithm for an output lane. On success
 // the lanes are bound; on failure the cycle is spent and the arbiter
-// moves on, so a blocked header cannot starve the others.
+// moves on, so a blocked header cannot starve the others. Only routers
+// with at least one presented header are visited (index-order sweep once
+// half the routers qualify); routing decisions are per-router local, so
+// the visiting order is immaterial.
 func (f *Fabric) routingStage(cycle int64) {
 	if f.Cfg.RouteEvery > 1 && cycle%int64(f.Cfg.RouteEvery) != 0 {
 		return
 	}
-	for r := range f.routers {
-		rt := &f.routers[r]
-		n := len(rt.routeScan)
-		for i := 0; i < n; i++ {
-			idx := (rt.routeRR + i) % n
-			p, l := rt.routeScan[idx].unpack()
-			il := &rt.in[p][l]
-			if il.n == 0 || il.bound != noRef {
-				continue
+	if 2*f.routeActive.len() >= len(f.unrouted) {
+		for r := range f.unrouted {
+			if f.unrouted[r] > 0 {
+				f.routeRouter(r, cycle)
 			}
-			fl := il.front()
-			if fl.MovedAt >= cycle {
-				continue
-			}
-			if !fl.Kind.IsHead() {
-				panic(fmt.Sprintf("wormhole: unbound non-header flit at router %d port %d lane %d", r, p, l))
-			}
-			if f.Cfg.StoreAndForward && !il.holdsWholePacket(&f.Packets[fl.Packet]) {
-				continue
-			}
-			rt.routeRR = (idx + 1) % n
-			op, ol, ok := f.Alg.Route(f, r, p, l, fl.Packet)
-			if ok {
-				out := &rt.out[op][ol]
-				if !out.free() {
-					panic(fmt.Sprintf("wormhole: algorithm %s allocated non-free lane (%d,%d) at router %d", f.Alg.Name(), op, ol, r))
-				}
-				il.bound = packRef(op, ol)
-				out.boundIn = packRef(p, l)
-				fl.MovedAt = cycle // routing itself takes T_routing = 1 cycle
-				f.Packets[fl.Packet].Hops++
-				f.lastProgress = cycle
-				if f.Tracer != nil {
-					f.Tracer.HeaderRouted(cycle, fl.Packet, r, p, l, op, ol)
-				}
-			}
-			break // one routing decision per switch per cycle
 		}
+		return
+	}
+	f.scratch = append(f.scratch[:0], f.routeActive.items...)
+	for _, r32 := range f.scratch {
+		f.routeRouter(int(r32), cycle)
 	}
 }
 
@@ -578,48 +800,75 @@ func (f *Fabric) routingStage(cycle int64) {
 // the next flit of its current packet into the router's injection lane
 // when a credit is available, and picks up the next queued packet after
 // the tail leaves. Network latency is measured from the cycle the header
-// enters the injection lane.
+// enters the injection lane. Only NICs with pending traffic are visited
+// (index-order sweep once half of them qualify; NICs are mutually
+// independent, so order is immaterial); a NIC leaves the active list
+// when its queue and streams empty.
 func (f *Fabric) injectionStage(cycle int64) {
-	for n := range f.nics {
-		nc := &f.nics[n]
-		at := f.Top.NodeAttach(n)
-		for l := range nc.lanes {
-			st := &nc.lanes[l]
-			if st.cur == NoPacket {
-				if len(nc.queue) == 0 {
-					continue
-				}
-				st.cur = nc.queue[0]
-				copy(nc.queue, nc.queue[1:])
-				nc.queue = nc.queue[:len(nc.queue)-1]
-				st.nextSeq = 0
+	if 2*f.nicActive.len() >= len(f.nics) {
+		for n := range f.nics {
+			if f.nicActive.contains(int32(n)) {
+				f.injectNIC(int32(n), cycle)
 			}
-			if st.credit == 0 {
+		}
+		return
+	}
+	f.scratch = append(f.scratch[:0], f.nicActive.items...)
+	for _, n32 := range f.scratch {
+		f.injectNIC(n32, cycle)
+	}
+}
+
+// injectNIC advances every injection stream of one NIC for the cycle.
+func (f *Fabric) injectNIC(n32 int32, cycle int64) {
+	nc := &f.nics[n32]
+	for l := range nc.lanes {
+		st := &nc.lanes[l]
+		if st.cur == NoPacket {
+			if nc.qlen() == 0 {
 				continue
 			}
-			pk := &f.Packets[st.cur]
-			var kind FlitKind
-			if st.nextSeq == 0 {
-				kind |= FlitHead
+			st.cur = nc.qpop()
+			st.nextSeq = 0
+		}
+		if st.credit == 0 {
+			continue
+		}
+		pk := &f.Packets[st.cur]
+		var kind FlitKind
+		if st.nextSeq == 0 {
+			kind |= FlitHead
+		}
+		if st.nextSeq == pk.Flits-1 {
+			kind |= FlitTail
+		}
+		f.pushIn(nc.base+int32(l), Flit{
+			Packet: st.cur, Seq: st.nextSeq, MovedAt: cycle, Kind: kind,
+		})
+		st.credit--
+		f.counters.FlitsInjected++
+		f.inFlight++
+		f.lastProgress = cycle
+		if st.nextSeq == 0 {
+			pk.InjectedAt = cycle
+			f.counters.PacketsInjected++
+		}
+		st.nextSeq++
+		if kind.IsTail() {
+			st.cur = NoPacket
+			f.queued--
+		}
+	}
+	if nc.qlen() == 0 {
+		idle := true
+		for l := range nc.lanes {
+			if nc.lanes[l].cur != NoPacket {
+				idle = false
+				break
 			}
-			if st.nextSeq == pk.Flits-1 {
-				kind |= FlitTail
-			}
-			f.routers[at.Router].in[at.Port][l].push(Flit{
-				Packet: st.cur, Seq: st.nextSeq, MovedAt: cycle, Kind: kind,
-			})
-			st.credit--
-			f.counters.FlitsInjected++
-			f.inFlight++
-			f.lastProgress = cycle
-			if st.nextSeq == 0 {
-				pk.InjectedAt = cycle
-				f.counters.PacketsInjected++
-			}
-			st.nextSeq++
-			if kind.IsTail() {
-				st.cur = NoPacket
-			}
+		}
+		if idle {
+			f.nicActive.remove(n32)
 		}
 	}
 }
@@ -629,7 +878,7 @@ func (f *Fabric) injectionStage(cycle int64) {
 func (f *Fabric) creditStage(cycle int64) {
 	for _, c := range f.pendingCredits {
 		p, l := c.ref.unpack()
-		ol := &f.routers[c.router].out[p][l]
+		ol := f.outLaneAt(int(c.router), p, l)
 		ol.credits++
 		if int(ol.credits) > f.Cfg.BufDepth {
 			panic("wormhole: credit overflow")
@@ -654,42 +903,42 @@ func (f *Fabric) creditStage(cycle int64) {
 
 // LinkFlits returns the number of flits transmitted out of router r's
 // port p since construction (or the last ResetLinkStats).
-func (f *Fabric) LinkFlits(r, p int) int64 { return f.linkFlits[r][p] }
+func (f *Fabric) LinkFlits(r, p int) int64 { return f.linkFlits[r*f.deg+p] }
 
 // ResetLinkStats zeroes the per-link flit counters, typically at the end
 // of the warm-up period.
 func (f *Fabric) ResetLinkStats() {
-	for r := range f.linkFlits {
-		for p := range f.linkFlits[r] {
-			f.linkFlits[r][p] = 0
-		}
+	for i := range f.linkFlits {
+		f.linkFlits[i] = 0
 	}
 }
 
 // CheckInvariants verifies the fabric's structural invariants; tests call
 // it between cycles. It checks credit conservation (credits plus remote
 // lane occupancy plus in-transit acks equal the buffer depth for every
-// router-to-router lane) and binding reciprocity.
+// router-to-router lane), binding reciprocity, and that every active-set
+// work list agrees with a dense recomputation of its membership
+// predicate.
 func (f *Fabric) CheckInvariants() error {
 	// Count pending acks per (router, out lane).
 	pending := map[laneRefAt]int{}
 	for _, c := range f.pendingCredits {
 		pending[c]++
 	}
-	for r := range f.routers {
-		rt := &f.routers[r]
-		ports := f.Top.RouterPorts(r)
-		for p, port := range ports {
+	for r := 0; r < f.Top.Routers(); r++ {
+		for p := 0; p < f.deg; p++ {
+			pid := r*f.deg + p
+			port := f.ports[pid]
 			if port.Kind != topology.PortRouter {
 				continue
 			}
-			peer := &f.routers[port.Peer]
-			for l := range rt.out[p] {
-				ol := &rt.out[p][l]
-				remote := &peer.in[port.PeerPort][l]
+			outLanes := f.outLanesOf(pid)
+			for l := range outLanes {
+				ol := &outLanes[l]
+				remote := f.inLaneAt(port.Peer, port.PeerPort, l)
 				onWire := 0
 				if f.wires != nil {
-					w := &f.wires[r][p]
+					w := &f.wires[pid]
 					for i := w.head; i < len(w.q); i++ {
 						if int(w.q[i].lane) == l {
 							onWire++
@@ -703,19 +952,90 @@ func (f *Fabric) CheckInvariants() error {
 				}
 				if ol.boundIn != noRef {
 					ip, il := ol.boundIn.unpack()
-					if rt.in[ip][il].bound != packRef(p, l) {
+					if f.inLaneAt(r, ip, il).bound != packRef(p, l) {
 						return fmt.Errorf("wormhole: asymmetric binding at router %d: out (%d,%d) claims in (%d,%d)", r, p, l, ip, il)
 					}
 				}
 			}
-			for l := range rt.in[p] {
-				il := &rt.in[p][l]
+			inLanes := f.inLanesOf(pid)
+			for l := range inLanes {
+				il := &inLanes[l]
 				if il.bound != noRef {
 					op, olIdx := il.bound.unpack()
-					if rt.out[op][olIdx].boundIn != packRef(p, l) {
+					if f.outLaneAt(r, op, olIdx).boundIn != packRef(p, l) {
 						return fmt.Errorf("wormhole: asymmetric binding at router %d: in (%d,%d) claims out (%d,%d)", r, p, l, op, olIdx)
 					}
 				}
+			}
+		}
+	}
+	return f.checkWorkLists()
+}
+
+// checkWorkLists verifies that every incremental work list matches a
+// dense recomputation of its membership predicate. The work lists are
+// pure acceleration state: any disagreement means a stage would skip (or
+// double-visit) live traffic.
+func (f *Fabric) checkWorkLists() error {
+	for pid := range f.portOcc {
+		var occ int32
+		for _, ol := range f.outLanesOf(pid) {
+			if ol.n > 0 {
+				occ++
+			}
+		}
+		if occ != f.portOcc[pid] {
+			return fmt.Errorf("wormhole: port %d occupancy count %d, want %d", pid, f.portOcc[pid], occ)
+		}
+		if (occ > 0) != f.linkActive.contains(int32(pid)) {
+			return fmt.Errorf("wormhole: port %d link work-list membership %v disagrees with occupancy %d", pid, f.linkActive.contains(int32(pid)), occ)
+		}
+	}
+	for id := range f.in {
+		il := &f.in[id]
+		want := il.bound != noRef && il.n > 0
+		if want != f.xbarActive.contains(int32(id)) {
+			return fmt.Errorf("wormhole: input lane %d (router %d port %d lane %d) crossbar work-list membership %v, want %v",
+				id, il.router, il.port, il.lane, !want, want)
+		}
+	}
+	for r := 0; r < f.Top.Routers(); r++ {
+		var cand int32
+		base := f.inOff[r*f.deg]
+		for id := base; id < f.inOff[(r+1)*f.deg]; id++ {
+			if f.in[id].n > 0 && f.in[id].bound == noRef {
+				cand++
+			}
+		}
+		if cand != f.unrouted[r] {
+			return fmt.Errorf("wormhole: router %d unrouted count %d, want %d", r, f.unrouted[r], cand)
+		}
+		if (cand > 0) != f.routeActive.contains(int32(r)) {
+			return fmt.Errorf("wormhole: router %d routing work-list membership %v disagrees with %d candidates", r, f.routeActive.contains(int32(r)), cand)
+		}
+	}
+	var queued int64
+	for n := range f.nics {
+		nc := &f.nics[n]
+		work := nc.qlen() > 0
+		queued += int64(nc.qlen())
+		for l := range nc.lanes {
+			if nc.lanes[l].cur != NoPacket {
+				work = true
+				queued++
+			}
+		}
+		if work && !f.nicActive.contains(int32(n)) {
+			return fmt.Errorf("wormhole: NIC %d has pending traffic but is not on the injection work list", n)
+		}
+	}
+	if queued != f.queued {
+		return fmt.Errorf("wormhole: queued-packet counter %d, want %d", f.queued, queued)
+	}
+	if f.wires != nil {
+		for pid := range f.wires {
+			if (!f.wires[pid].empty()) != f.wireActive.contains(int32(pid)) {
+				return fmt.Errorf("wormhole: wire %d work-list membership %v disagrees with occupancy", pid, f.wireActive.contains(int32(pid)))
 			}
 		}
 	}

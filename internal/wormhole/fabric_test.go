@@ -100,22 +100,33 @@ func TestFabricLaneLayout(t *testing.T) {
 	}
 	// Level-0 switch: 4 node down ports (1 injection in-lane, 2 ejection
 	// out-lanes each) + 4 router up ports (2 lanes each side).
-	rt := &f.routers[0]
 	for p := 0; p < 4; p++ {
-		if len(rt.in[p]) != 1 || len(rt.out[p]) != 2 {
-			t.Fatalf("node port %d lanes in=%d out=%d, want 1/2", p, len(rt.in[p]), len(rt.out[p]))
+		if len(f.inLanesOf(p)) != 1 || len(f.outLanesOf(p)) != 2 {
+			t.Fatalf("node port %d lanes in=%d out=%d, want 1/2", p, len(f.inLanesOf(p)), len(f.outLanesOf(p)))
 		}
 	}
 	for p := 4; p < 8; p++ {
-		if len(rt.in[p]) != 2 || len(rt.out[p]) != 2 {
-			t.Fatalf("up port %d lanes in=%d out=%d, want 2/2", p, len(rt.in[p]), len(rt.out[p]))
+		if len(f.inLanesOf(p)) != 2 || len(f.outLanesOf(p)) != 2 {
+			t.Fatalf("up port %d lanes in=%d out=%d, want 2/2", p, len(f.inLanesOf(p)), len(f.outLanesOf(p)))
 		}
 	}
 	// Top-level switch: unused up ports get no lanes.
-	top := &f.routers[tree.SwitchIndex(1, 0)]
+	topBase := tree.SwitchIndex(1, 0) * f.deg
 	for p := 4; p < 8; p++ {
-		if len(top.in[p]) != 0 || len(top.out[p]) != 0 {
+		if len(f.inLanesOf(topBase+p)) != 0 || len(f.outLanesOf(topBase+p)) != 0 {
 			t.Fatalf("unused port %d has lanes", p)
+		}
+	}
+	// Every lane must know its own coordinates (the work lists rely on it).
+	for r := 0; r < tree.Routers(); r++ {
+		for p := 0; p < f.deg; p++ {
+			lanes := f.inLanesOf(r*f.deg + p)
+			for l := range lanes {
+				il := &lanes[l]
+				if int(il.router) != r || int(il.port) != p || int(il.lane) != l {
+					t.Fatalf("lane at (%d,%d,%d) carries coordinates (%d,%d,%d)", r, p, l, il.router, il.port, il.lane)
+				}
+			}
 		}
 	}
 }

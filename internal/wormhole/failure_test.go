@@ -32,19 +32,20 @@ func loadedFabric(t *testing.T) (*Fabric, *sim.Engine) {
 func TestInjectedCreditLossDetected(t *testing.T) {
 	f, _ := loadedFabric(t)
 	// Steal a credit from a lane that currently has some.
-	for r := range f.routers {
-		for p := range f.routers[r].out {
-			for l := range f.routers[r].out[p] {
-				ol := &f.routers[r].out[p][l]
-				if f.Top.RouterPorts(r)[p].Kind == topology.PortRouter && ol.credits > 0 {
-					ol.credits--
-					if err := f.CheckInvariants(); err == nil {
-						t.Fatal("credit loss not detected")
-					} else if !strings.Contains(err.Error(), "credit conservation") {
-						t.Fatalf("wrong diagnosis: %v", err)
-					}
-					return
+	for pid := range f.ports {
+		if f.ports[pid].Kind != topology.PortRouter {
+			continue
+		}
+		lanes := f.outLanesOf(pid)
+		for l := range lanes {
+			if lanes[l].credits > 0 {
+				lanes[l].credits--
+				if err := f.CheckInvariants(); err == nil {
+					t.Fatal("credit loss not detected")
+				} else if !strings.Contains(err.Error(), "credit conservation") {
+					t.Fatalf("wrong diagnosis: %v", err)
 				}
+				return
 			}
 		}
 	}
@@ -53,20 +54,18 @@ func TestInjectedCreditLossDetected(t *testing.T) {
 
 func TestInjectedCreditDuplicationDetected(t *testing.T) {
 	f, _ := loadedFabric(t)
-	for r := range f.routers {
-		for p := range f.routers[r].out {
-			if f.Top.RouterPorts(r)[p].Kind != topology.PortRouter {
-				continue
-			}
-			for l := range f.routers[r].out[p] {
-				ol := &f.routers[r].out[p][l]
-				if int(ol.credits) < f.Cfg.BufDepth {
-					ol.credits++
-					if err := f.CheckInvariants(); err == nil {
-						t.Fatal("credit duplication not detected")
-					}
-					return
+	for pid := range f.ports {
+		if f.ports[pid].Kind != topology.PortRouter {
+			continue
+		}
+		lanes := f.outLanesOf(pid)
+		for l := range lanes {
+			if int(lanes[l].credits) < f.Cfg.BufDepth {
+				lanes[l].credits++
+				if err := f.CheckInvariants(); err == nil {
+					t.Fatal("credit duplication not detected")
 				}
+				return
 			}
 		}
 	}
@@ -76,24 +75,19 @@ func TestInjectedCreditDuplicationDetected(t *testing.T) {
 func TestInjectedBindingCorruptionDetected(t *testing.T) {
 	f, _ := loadedFabric(t)
 	// Find a bound input lane and corrupt its partner reference.
-	for r := range f.routers {
-		rt := &f.routers[r]
-		for p := range rt.in {
-			for l := range rt.in[p] {
-				il := &rt.in[p][l]
-				if il.bound == noRef {
-					continue
-				}
-				op, ol := il.bound.unpack()
-				rt.out[op][ol].boundIn = noRef // sever one side
-				if err := f.CheckInvariants(); err == nil {
-					t.Fatal("binding corruption not detected")
-				} else if !strings.Contains(err.Error(), "binding") {
-					t.Fatalf("wrong diagnosis: %v", err)
-				}
-				return
-			}
+	for id := range f.in {
+		il := &f.in[id]
+		if il.bound == noRef {
+			continue
 		}
+		op, ol := il.bound.unpack()
+		f.outLaneAt(int(il.router), op, ol).boundIn = noRef // sever one side
+		if err := f.CheckInvariants(); err == nil {
+			t.Fatal("binding corruption not detected")
+		} else if !strings.Contains(err.Error(), "binding") {
+			t.Fatalf("wrong diagnosis: %v", err)
+		}
+		return
 	}
 	t.Skip("no bound lane at this point; fixture timing changed")
 }
@@ -130,22 +124,21 @@ func TestShortPacketTailPanics(t *testing.T) {
 func TestCreditOverflowPanics(t *testing.T) {
 	f, _ := loadedFabric(t)
 	// Queue a bogus ack for a lane that is already at full credit.
-	for r := range f.routers {
-		for p := range f.routers[r].out {
-			if f.Top.RouterPorts(r)[p].Kind != topology.PortRouter {
-				continue
-			}
-			for l := range f.routers[r].out[p] {
-				if int(f.routers[r].out[p][l].credits) == f.Cfg.BufDepth {
-					f.pendingCredits = append(f.pendingCredits, laneRefAt{router: int32(r), ref: packRef(p, l)})
-					defer func() {
-						if recover() == nil {
-							t.Fatal("credit overflow not detected")
-						}
-					}()
-					f.creditStage(100)
-					return
-				}
+	for pid := range f.ports {
+		if f.ports[pid].Kind != topology.PortRouter {
+			continue
+		}
+		lanes := f.outLanesOf(pid)
+		for l := range lanes {
+			if int(lanes[l].credits) == f.Cfg.BufDepth {
+				f.pendingCredits = append(f.pendingCredits, laneRefAt{router: int32(pid / f.deg), ref: packRef(pid%f.deg, l)})
+				defer func() {
+					if recover() == nil {
+						t.Fatal("credit overflow not detected")
+					}
+				}()
+				f.creditStage(100)
+				return
 			}
 		}
 	}

@@ -39,10 +39,16 @@ func (f *fifo) pop() Flit {
 // inLane is the input buffer of one virtual channel: flits arriving from
 // the upstream link wait here for the crossbar. bound identifies the
 // output lane the current packet was allocated (noRef while the header is
-// still unrouted or the lane is empty).
+// still unrouted or the lane is empty). The router/port/lane coordinates
+// are fixed at construction so the crossbar and routing stages, which
+// reach lanes through flat-index work lists, can recover them without a
+// reverse lookup.
 type inLane struct {
 	fifo
-	bound laneRef
+	bound  laneRef
+	router int32
+	port   int16
+	lane   int16
 }
 
 // at returns the i-th buffered flit counted from the front.
