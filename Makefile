@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-fabric profile experiments quick clean
+.PHONY: all build vet lint test race bench bench-fabric profile experiments quick clean
 
-all: build vet test
+all: build lint test
 
 build:
 	$(GO) build ./...
@@ -12,11 +12,18 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Static checks: vet, formatting, and the determinism contract
+# (smartlint; see DESIGN.md §8 and cmd/smartlint).
+lint: vet
+	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
+	$(GO) run ./cmd/smartlint ./internal/... ./cmd/...
+
 test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/obs/ ./internal/core/ .
+	$(GO) test -race -count=1 ./internal/... ./cmd/... .
 
 # One benchmark per table, figure and ablation of the paper.
 bench:

@@ -76,8 +76,9 @@ func main() {
 	flag.Parse()
 
 	rec := record{
-		Schema:    "smart/bench-fabric/v1",
-		Label:     *label,
+		Schema: "smart/bench-fabric/v1",
+		Label:  *label,
+		//smartlint:allow wallclock — timestamping the committed benchmark record; not simulation time
 		Timestamp: time.Now().UTC().Format(time.RFC3339),
 		GoVersion: runtime.Version(),
 	}

@@ -63,7 +63,7 @@ func main() {
 		}
 	}
 
-	start := time.Now()
+	elapsed := obs.Stopwatch()
 	fmt.Println("SMART reproduction of: Petrini & Vanneschi, \"Network Performance under")
 	fmt.Println("Physical Constraints\", ICPP 1997")
 	fmt.Printf("grid: %d loads (step %.2f), seed %d", len(loads), step, *seed)
@@ -127,7 +127,7 @@ func main() {
 			}
 			labels[i] = swept[0].Config.Label()
 			sweeps[sweepKey{pattern, labels[i]}] = swept
-			fmt.Fprintf(os.Stderr, "swept %-22s %-11s (%s elapsed)\n", labels[i], pattern, time.Since(start).Round(time.Second))
+			fmt.Fprintf(os.Stderr, "swept %-22s %-11s (%s elapsed)\n", labels[i], pattern, elapsed().Round(time.Second))
 		}
 	}
 	progress.Stop()
@@ -223,7 +223,7 @@ func main() {
 	if err := stopProf(); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("total wall time %s\n", time.Since(start).Round(time.Second))
+	fmt.Printf("total wall time %s\n", elapsed().Round(time.Second))
 }
 
 func writeCSV(dir, name string, headers []string, rows [][]string) {

@@ -1,0 +1,47 @@
+// Command smartlint enforces the repo's determinism contract
+// statically: no map-order iteration, wall-clock reads, global RNG
+// use, exact float comparison, or wall-time sleeps in simulation code.
+// It prints "file:line: rule: message" diagnostics and exits 1 when
+// any are found, so CI can gate every PR on the contract the golden
+// fixtures only sample dynamically.
+//
+// Usage:
+//
+//	go run ./cmd/smartlint ./internal/... ./cmd/...
+//
+// A finding that is genuinely intended carries an inline
+// "//smartlint:allow <rule> — <reason>" annotation; the reason is
+// mandatory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"smart/internal/lint"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: smartlint [packages]\n\nrules: %v\n", lint.Rules)
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	diags, err := lint.Run(".", patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "smartlint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "smartlint: %d violation(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 
+	"smart/internal/order"
 	"smart/internal/topology"
 	"smart/internal/wormhole"
 )
@@ -82,6 +83,7 @@ func SourceFairness(f *wormhole.Fabric, start, end int64) (Fairness, error) {
 	var sum, sumSq float64
 	var active []float64
 	for _, c := range counts {
+		//smartlint:allow floateq — counts are pure integer increments; zero is exact
 		if c == 0 {
 			continue
 		}
@@ -133,17 +135,11 @@ func LatencyByDistance(f *wormhole.Fabric, top topology.Topology, start, end int
 		p.Packets++
 		p.MeanLatency += float64(pk.NetworkLatency())
 	})
-	var out []DistancePoint
-	for d := 0; ; d++ {
-		p, ok := sums[d]
-		if ok {
-			p.MeanLatency /= float64(p.Packets)
-			out = append(out, *p)
-			delete(sums, d)
-		}
-		if len(sums) == 0 {
-			break
-		}
+	out := make([]DistancePoint, 0, len(sums))
+	for _, d := range order.Keys(sums) {
+		p := sums[d]
+		p.MeanLatency /= float64(p.Packets)
+		out = append(out, *p)
 	}
 	return out, nil
 }

@@ -139,6 +139,7 @@ func (c Config) WithDefaults() Config {
 	if c.Pattern == "" {
 		c.Pattern = PatternUniform
 	}
+	//smartlint:allow floateq — zero is the "field unset" sentinel, not an arithmetic result
 	if c.HotspotFraction == 0 {
 		c.HotspotFraction = 0.05
 	}

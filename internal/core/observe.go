@@ -63,9 +63,9 @@ func (s *Simulation) RunWith(opts Options) (Result, error) {
 	if logger != nil {
 		logger.Debug("run starting", "warmup", cfg.Warmup, "horizon", cfg.Horizon)
 	}
-	start := time.Now()
+	elapsed := obs.Stopwatch()
 	res, err := s.Run()
-	wall := time.Since(start)
+	wall := elapsed()
 	cycles := s.Engine.Cycle()
 	if err != nil {
 		if logger != nil {

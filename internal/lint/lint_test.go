@@ -1,0 +1,157 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// wantRe matches golden-diagnostic markers in fixture sources:
+// `// want "re"` expects a diagnostic on the same line whose
+// "rule: message" rendering matches the regexp; `// want+1 "re"`
+// (or any signed offset) anchors the expectation that many lines
+// below, for diagnostics reported on comment-only lines.
+var wantRe = regexp.MustCompile(`// want([+-][0-9]+)? "((?:[^"\\]|\\.)*)"`)
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	hit  bool
+}
+
+func readExpectations(t *testing.T, dir string) []*expectation {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var expects []*expectation
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range wantRe.FindAllStringSubmatch(line, -1) {
+				offset := 0
+				if m[1] != "" {
+					offset, err = strconv.Atoi(m[1])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want offset %q", e.Name(), i+1, m[1])
+					}
+				}
+				pattern := strings.ReplaceAll(m[2], `\"`, `"`)
+				re, err := regexp.Compile(pattern)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern %q: %v", e.Name(), i+1, pattern, err)
+				}
+				expects = append(expects, &expectation{file: e.Name(), line: i + 1 + offset, re: re, raw: pattern})
+			}
+		}
+	}
+	return expects
+}
+
+// checkFixture analyzes one fixture package and verifies its
+// diagnostics against the // want markers, in both directions: every
+// marker must be satisfied and every diagnostic must be expected.
+func checkFixture(t *testing.T, name, importPath string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", name)
+	pkg, err := NewLoader(".").LoadDir(dir, importPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Check(pkg)
+	expects := readExpectations(t, dir)
+	for _, d := range diags {
+		rendered := d.Rule + ": " + d.Message
+		matched := false
+		for _, e := range expects {
+			if e.file == filepath.Base(d.Path) && e.line == d.Line && e.re.MatchString(rendered) {
+				e.hit = true
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, e := range expects {
+		if !e.hit {
+			t.Errorf("missing diagnostic at %s:%d matching %q", e.file, e.line, e.raw)
+		}
+	}
+}
+
+func TestRuleFixtures(t *testing.T) {
+	for _, name := range []string{"maprange", "wallclock", "globalrand", "floateq", "naketime", "allow"} {
+		t.Run(name, func(t *testing.T) {
+			checkFixture(t, name, "fixture/"+name)
+		})
+	}
+}
+
+// TestWallclockExemptInObs loads the wallclock fixture under an
+// internal/obs import path: every wall-clock read that the rule flags
+// elsewhere is legal there, so no diagnostics survive.
+func TestWallclockExemptInObs(t *testing.T) {
+	pkg, err := NewLoader(".").LoadDir(filepath.Join("testdata", "src", "wallclock"), "smart/internal/obs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := Check(pkg); len(diags) != 0 {
+		t.Fatalf("internal/obs should be exempt from wallclock, got %d diagnostics: %v", len(diags), diags)
+	}
+}
+
+// TestInjectedViolation proves the end-to-end failure mode: a fresh
+// package with a contract violation produces a file:line: rule:
+// diagnostic (this is what makes cmd/smartlint exit nonzero).
+func TestInjectedViolation(t *testing.T) {
+	dir := t.TempDir()
+	src := "package bad\n\nimport \"time\"\n\nfunc Stamp() int64 { return time.Now().UnixNano() }\n"
+	if err := os.WriteFile(filepath.Join(dir, "bad.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := NewLoader(".").LoadDir(dir, "injected/bad")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Check(pkg)
+	if len(diags) != 1 {
+		t.Fatalf("want exactly one diagnostic, got %v", diags)
+	}
+	d := diags[0]
+	if d.Rule != RuleWallclock || d.Line != 5 {
+		t.Fatalf("want a wallclock diagnostic on line 5, got %s", d)
+	}
+	if !regexp.MustCompile(`bad\.go:5: wallclock: `).MatchString(d.String()) {
+		t.Fatalf("diagnostic %q does not render as file:line: rule: message", d.String())
+	}
+}
+
+// TestSelfClean runs the analyzer over the repository's own simulation
+// and command packages — the same invocation CI gates on. The tree
+// must stay clean: any new finding is either a real determinism hazard
+// to fix or needs a justified //smartlint:allow.
+func TestSelfClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole repository; skipped in -short mode")
+	}
+	diags, err := Run(filepath.Join("..", ".."), []string{"./internal/...", "./cmd/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("determinism contract violation: %s", d)
+	}
+}

@@ -1,0 +1,202 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// The five rules of the determinism contract, plus the pseudo-rule
+// "allow" reported for malformed //smartlint:allow comments.
+const (
+	RuleMapRange   = "maprange"
+	RuleWallclock  = "wallclock"
+	RuleGlobalRand = "globalrand"
+	RuleFloatEq    = "floateq"
+	RuleNakedTime  = "naketime"
+	ruleAllow      = "allow"
+)
+
+// Rules lists the rule names in a fixed presentation order.
+var Rules = []string{RuleMapRange, RuleWallclock, RuleGlobalRand, RuleFloatEq, RuleNakedTime}
+
+var knownRules = map[string]bool{
+	RuleMapRange:   true,
+	RuleWallclock:  true,
+	RuleGlobalRand: true,
+	RuleFloatEq:    true,
+	RuleNakedTime:  true,
+}
+
+// globalRandFns are the math/rand (and math/rand/v2) package-level
+// functions that touch the shared process-wide generator. Constructors
+// for explicitly seeded instances (New, NewSource, NewPCG, NewChaCha8,
+// NewZipf) are the sanctioned alternative and stay legal.
+var globalRandFns = map[string]bool{
+	"Seed": true, "Int": true, "Intn": true, "IntN": true, "N": true,
+	"Int31": true, "Int31n": true, "Int32": true, "Int32N": true,
+	"Int63": true, "Int63n": true, "Int64": true, "Int64N": true,
+	"Uint": true, "UintN": true, "Uint32": true, "Uint32N": true,
+	"Uint64": true, "Uint64N": true, "Float32": true, "Float64": true,
+	"ExpFloat64": true, "NormFloat64": true, "Perm": true,
+	"Shuffle": true, "Read": true,
+}
+
+// wallclockExempt reports whether a package may read the wall clock:
+// internal/obs is the designated home for wall-time instrumentation.
+func wallclockExempt(path string) bool {
+	return path == "internal/obs" || strings.HasSuffix(path, "/internal/obs")
+}
+
+// Check runs every rule over the package's non-test files and returns
+// the diagnostics that survive //smartlint:allow suppression, sorted
+// by position.
+func Check(pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, file := range pkg.Files {
+		diags = append(diags, checkFile(pkg, file)...)
+	}
+	sortDiagnostics(diags)
+	return diags
+}
+
+type allowKey struct {
+	line int
+	rule string
+}
+
+func checkFile(pkg *Package, file *ast.File) []Diagnostic {
+	if strings.HasSuffix(pkg.Fset.Position(file.Pos()).Filename, "_test.go") {
+		return nil
+	}
+	allows, diags := parseAllows(pkg.Fset, file)
+	var raw []Diagnostic
+	report := func(pos token.Pos, rule, format string, args ...any) {
+		p := pkg.Fset.Position(pos)
+		raw = append(raw, Diagnostic{Path: p.Filename, Line: p.Line, Rule: rule, Message: fmt.Sprintf(format, args...)})
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if t := pkg.Info.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Map); ok {
+					report(n.Range, RuleMapRange,
+						"range over %s: map iteration order is nondeterministic and breaks bit-identical replay; iterate sorted keys (order.Keys) instead",
+						types.TypeString(t, nil))
+				}
+			}
+		case *ast.SelectorExpr:
+			ident, ok := n.X.(*ast.Ident)
+			if !ok {
+				break
+			}
+			pn, ok := pkg.Info.Uses[ident].(*types.PkgName)
+			if !ok {
+				break
+			}
+			switch path := pn.Imported().Path(); path {
+			case "time":
+				switch n.Sel.Name {
+				case "Now", "Since", "Until":
+					if !wallclockExempt(pkg.Path) {
+						report(n.Pos(), RuleWallclock,
+							"time.%s reads the wall clock: simulation time is the engine cycle counter; route wall-time instrumentation through internal/obs",
+							n.Sel.Name)
+					}
+				case "Sleep":
+					report(n.Pos(), RuleNakedTime,
+						"time.Sleep stalls on wall time: simulation delays are modeled in cycles, not host time")
+				}
+			case "math/rand", "math/rand/v2":
+				if globalRandFns[n.Sel.Name] {
+					verb := "draws from"
+					if n.Sel.Name == "Seed" {
+						verb = "reseeds"
+					}
+					report(n.Pos(), RuleGlobalRand,
+						"%s.%s %s the shared global RNG: all simulation randomness must flow through the seeded sim RNG (or a local rand.New)",
+						path, n.Sel.Name, verb)
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.EQL || n.Op == token.NEQ {
+				if isFloat(pkg.Info.TypeOf(n.X)) || isFloat(pkg.Info.TypeOf(n.Y)) {
+					report(n.OpPos, RuleFloatEq,
+						"%s compares floats exactly: rounding makes exact equality seed- and platform-sensitive; compare against a tolerance instead",
+						n.Op)
+				}
+			}
+		}
+		return true
+	})
+	for _, d := range raw {
+		if allows[allowKey{d.Line, d.Rule}] || allows[allowKey{d.Line - 1, d.Rule}] {
+			continue
+		}
+		diags = append(diags, d)
+	}
+	return diags
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+const allowPrefix = "//smartlint:allow"
+
+// parseAllows collects the //smartlint:allow comments of a file. A
+// well-formed comment is "//smartlint:allow <rule> — <reason>" (plain
+// "-" or "--" separators are accepted too) and suppresses diagnostics
+// of that rule on its own line and on the line directly below. A
+// missing justification or an unknown rule name is itself reported:
+// the escape hatch must leave an audit trail.
+func parseAllows(fset *token.FileSet, file *ast.File) (map[allowKey]bool, []Diagnostic) {
+	allows := map[allowKey]bool{}
+	var diags []Diagnostic
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, allowPrefix) {
+				continue
+			}
+			p := fset.Position(c.Pos())
+			bad := func(format string, args ...any) {
+				diags = append(diags, Diagnostic{Path: p.Filename, Line: p.Line, Rule: ruleAllow, Message: fmt.Sprintf(format, args...)})
+			}
+			rest := strings.TrimSpace(strings.TrimPrefix(c.Text, allowPrefix))
+			rule, tail, _ := strings.Cut(rest, " ")
+			if rule == "" {
+				bad("missing rule name: write %q", "//smartlint:allow <rule> — <reason>")
+				continue
+			}
+			if !knownRules[rule] {
+				bad("unknown rule %q (known rules: %s)", rule, strings.Join(Rules, ", "))
+				continue
+			}
+			reason, ok := cutSeparator(tail)
+			if !ok || reason == "" {
+				bad("//smartlint:allow %s needs a justification: write %q", rule, "//smartlint:allow "+rule+" — <reason>")
+				continue
+			}
+			allows[allowKey{p.Line, rule}] = true
+		}
+	}
+	return allows, diags
+}
+
+// cutSeparator strips the "— " (or "-", "--") separator that must
+// precede the justification and returns what follows.
+func cutSeparator(tail string) (string, bool) {
+	tail = strings.TrimSpace(tail)
+	for _, sep := range []string{"—", "–", "--", "-"} {
+		if rest, ok := strings.CutPrefix(tail, sep); ok {
+			return strings.TrimSpace(rest), true
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,41 @@
+// Package allow exercises the //smartlint:allow escape hatch itself:
+// a justified annotation suppresses its finding, while an annotation
+// with no justification — or naming an unknown rule — is a violation
+// in its own right, and suppresses nothing.
+package allow
+
+import "time"
+
+// Justified carries a reason, so both the comment and the wall-clock
+// read below it are clean.
+func Justified() time.Time {
+	//smartlint:allow wallclock — fixture: reason present, finding suppressed
+	return time.Now()
+}
+
+// Trailing shows the same on the flagged line itself.
+func Trailing(start time.Time) time.Duration {
+	return time.Since(start) //smartlint:allow wallclock — fixture: trailing annotation
+}
+
+// Bare has no justification: the annotation is reported and the
+// finding it failed to justify still fires.
+func Bare() time.Time {
+	// want+1 "allow: //smartlint:allow wallclock needs a justification"
+	//smartlint:allow wallclock
+	return time.Now() // want "wallclock: time.Now"
+}
+
+// Unjustified has the separator but nothing after it.
+func Unjustified() time.Time {
+	// want+1 "allow: .*needs a justification"
+	//smartlint:allow wallclock —
+	return time.Now() // want "wallclock: time.Now"
+}
+
+// Unknown names a rule that does not exist.
+func Unknown() time.Time {
+	// want+1 "allow: unknown rule \"clocks\""
+	//smartlint:allow clocks — no such rule
+	return time.Now() // want "wallclock: time.Now"
+}

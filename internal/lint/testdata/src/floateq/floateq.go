@@ -1,0 +1,40 @@
+// Package floateq exercises the floateq rule: no exact ==/!= between
+// float operands — rounding makes exact equality seed- and
+// platform-sensitive.
+package floateq
+
+type cycles float64
+
+// Equal compares float64 exactly.
+func Equal(a, b float64) bool {
+	return a == b // want "floateq: == compares floats exactly"
+}
+
+// NotEqual compares float32 exactly.
+func NotEqual(a, b float32) bool {
+	return a != b // want "floateq: != compares floats"
+}
+
+// Zero compares a float against an untyped constant.
+func Zero(a float64) bool {
+	return a == 0 // want "floateq:"
+}
+
+// Named compares a defined type with float underlying.
+func Named(a, b cycles) bool {
+	return a == b // want "floateq:"
+}
+
+// Ints is a control: exact integer comparison is fine.
+func Ints(a, b int) bool {
+	return a == b
+}
+
+// Close is the sanctioned shape: compare against a tolerance.
+func Close(a, b, tol float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol
+}

@@ -1,0 +1,31 @@
+// Package globalrand exercises the globalrand rule: no package-level
+// math/rand functions — they share one process-wide generator whose
+// stream any import can perturb, so replays stop being bit-identical.
+package globalrand
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+)
+
+// Roll draws from the global generator.
+func Roll() int {
+	return rand.Intn(6) // want "globalrand: math/rand.Intn draws from the shared global RNG"
+}
+
+// Reseed mutates the global generator.
+func Reseed() {
+	rand.Seed(42) // want "globalrand: math/rand.Seed reseeds the shared global RNG"
+}
+
+// V2 covers math/rand/v2's global functions.
+func V2() int {
+	return randv2.IntN(6) // want "globalrand: math/rand/v2.IntN"
+}
+
+// Local is a control: an explicitly seeded local instance is the
+// sanctioned alternative, so the constructors stay legal.
+func Local(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}

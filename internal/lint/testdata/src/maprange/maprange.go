@@ -1,0 +1,57 @@
+// Package maprange exercises the maprange rule: no range over map
+// types, because iteration order is nondeterministic.
+package maprange
+
+import "sort"
+
+type registry map[string]int
+
+// Keys ranges a plain map type.
+func Keys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // want "maprange: range over map\[string\]int"
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Values ranges with the value variable only.
+func Values(m map[int]string) []string {
+	var out []string
+	for _, v := range m { // want "maprange:"
+		out = append(out, v)
+	}
+	return out
+}
+
+// Named ranges a defined type whose underlying type is a map.
+func Named(r registry) int {
+	total := 0
+	for range r { // want "maprange:"
+		total++
+	}
+	return total
+}
+
+// Slices is a control: ranging slices, strings and ints is fine.
+func Slices(xs []int, s string) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	for range s {
+		total++
+	}
+	return total
+}
+
+// Sum shows the escape hatch: a justified allow suppresses the finding.
+func Sum(m map[string]int) int {
+	total := 0
+	//smartlint:allow maprange — order folds into a commutative sum; the walk cannot leak
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

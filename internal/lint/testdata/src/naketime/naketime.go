@@ -1,0 +1,16 @@
+// Package naketime exercises the naketime rule: no time.Sleep in
+// non-test simulation code — delays are modeled in cycles.
+package naketime
+
+import "time"
+
+// Wait sleeps on the host clock.
+func Wait() {
+	time.Sleep(time.Millisecond) // want "naketime: time.Sleep stalls on wall time"
+}
+
+// Backoff shows the justified escape hatch.
+func Backoff(d time.Duration) {
+	//smartlint:allow naketime — fixture: a justified sleep is suppressed
+	time.Sleep(d)
+}

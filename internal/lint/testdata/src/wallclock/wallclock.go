@@ -1,0 +1,32 @@
+// Package wallclock exercises the wallclock rule: no time.Now,
+// time.Since or time.Until outside internal/obs — simulation time is
+// the cycle counter. The lint tests also load this package under an
+// internal/obs import path to prove the exemption.
+package wallclock
+
+import "time"
+
+// Stamp reads the wall clock directly.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want "wallclock: time.Now reads the wall clock"
+}
+
+// Elapsed measures wall time.
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want "wallclock: time.Since"
+}
+
+// Remaining is the third spelling.
+func Remaining(deadline time.Time) time.Duration {
+	return time.Until(deadline) // want "wallclock: time.Until"
+}
+
+// Value catches the function used as a value, not just called.
+func Value() func() time.Time {
+	return time.Now // want "wallclock: time.Now"
+}
+
+// Types is a control: referring to time's types and constants is fine.
+func Types(d time.Duration) time.Duration {
+	return d + time.Millisecond
+}

@@ -149,6 +149,7 @@ type Series []Sample
 func (s Series) Saturation(tolerance float64) (float64, bool) {
 	deficit := func(smp Sample) float64 {
 		created := smp.CreatedLoad
+		//smartlint:allow floateq — zero is the "not recorded" sentinel for CreatedLoad
 		if created == 0 {
 			created = smp.Offered
 		}
@@ -193,7 +194,7 @@ func (s Series) PostSaturationStability(tolerance float64) (float64, bool) {
 		lo = math.Min(lo, smp.Accepted)
 		hi = math.Max(hi, smp.Accepted)
 	}
-	if count < 2 || hi == 0 {
+	if count < 2 || hi <= 0 {
 		return 1, false
 	}
 	return lo / hi, true

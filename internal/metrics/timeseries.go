@@ -96,7 +96,7 @@ func (ts *TimeSeries) SteadyStateBy(tolerance float64) (int64, bool) {
 		return 0, false
 	}
 	final := ts.points[len(ts.points)-1].Throughput
-	if final == 0 {
+	if final <= 0 {
 		return 0, false
 	}
 	for i, p := range ts.points {
@@ -122,7 +122,7 @@ func rel(a, b float64) float64 {
 	if b < 0 {
 		b = -b
 	}
-	if b == 0 {
+	if b <= 0 {
 		return 0
 	}
 	return d / b

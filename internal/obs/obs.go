@@ -15,7 +15,19 @@ package obs
 import (
 	"io"
 	"log/slog"
+	"time"
 )
+
+// Stopwatch starts measuring wall time and returns a function that
+// reports the elapsed duration. It exists so that code outside this
+// package never reads the wall clock directly: the determinism
+// contract (cmd/smartlint's wallclock rule) confines time.Now and
+// time.Since to internal/obs, and wall-time instrumentation — run
+// timing, progress ETAs, harness reporting — flows through here.
+func Stopwatch() func() time.Duration {
+	start := time.Now()
+	return func() time.Duration { return time.Since(start) }
+}
 
 // Log formats accepted by NewLogger and the -log-format flag.
 const (

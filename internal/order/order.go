@@ -1,0 +1,26 @@
+// Package order provides deterministic iteration over the one Go data
+// structure that refuses to iterate reproducibly: the map. The
+// determinism contract (see DESIGN.md §8 and cmd/smartlint) bans
+// ranging over maps in simulation and reporting code; code that needs
+// a map's contents walks order.Keys instead, so every table, CSV and
+// trace the system emits is byte-stable across runs.
+package order
+
+import (
+	"cmp"
+	"slices"
+)
+
+// Keys returns m's keys in ascending order. It is the sanctioned way
+// to iterate a map under the determinism contract: the unordered walk
+// is confined to this helper and its order never escapes, because the
+// keys are sorted before they are returned.
+func Keys[K cmp.Ordered, V any](m map[K]V) []K {
+	keys := make([]K, 0, len(m))
+	//smartlint:allow maprange — the unordered walk is sealed here: keys are sorted before return
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}

@@ -1,0 +1,58 @@
+package order
+
+import (
+	"testing"
+)
+
+func TestKeysSorted(t *testing.T) {
+	m := map[int]string{5: "e", 1: "a", 3: "c", 2: "b", 4: "d"}
+	got := Keys(m)
+	want := []int{1, 2, 3, 4, 5}
+	if len(got) != len(want) {
+		t.Fatalf("Keys returned %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Keys returned %v, want %v", got, want)
+		}
+	}
+}
+
+func TestKeysEmpty(t *testing.T) {
+	if got := Keys(map[string]int{}); len(got) != 0 {
+		t.Fatalf("Keys of empty map = %v, want empty", got)
+	}
+}
+
+// packetID mirrors the defined integer key types the simulator uses
+// (e.g. wormhole.PacketID): the ~-constraint must accept them.
+type packetID int64
+
+func TestKeysDefinedType(t *testing.T) {
+	m := map[packetID]int{9: 0, 2: 0, 7: 0}
+	got := Keys(m)
+	want := []packetID{2, 7, 9}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Keys returned %v, want %v", got, want)
+		}
+	}
+}
+
+// TestKeysStable runs Keys repeatedly over the same map: the returned
+// order must be identical every time — the whole point of the helper.
+func TestKeysStable(t *testing.T) {
+	m := map[string]int{}
+	for _, k := range []string{"tree", "cube", "uniform", "transpose", "bitrev", "complement"} {
+		m[k] = len(k)
+	}
+	first := Keys(m)
+	for i := 0; i < 100; i++ {
+		again := Keys(m)
+		for j := range first {
+			if again[j] != first[j] {
+				t.Fatalf("iteration %d: order changed: %v vs %v", i, again, first)
+			}
+		}
+	}
+}

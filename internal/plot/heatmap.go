@@ -66,7 +66,7 @@ func (h *Heatmap) Render() (string, error) {
 
 // cell picks the density character for value v on a scale to max.
 func cell(v, max float64) byte {
-	if max == 0 {
+	if max <= 0 {
 		return intensity[0]
 	}
 	idx := int(v / max * float64(len(intensity)-1))

@@ -63,11 +63,12 @@ func (c *Chart) Render() (string, error) {
 	if points == 0 {
 		return "", fmt.Errorf("plot: no finite points")
 	}
-	// Zero-span axes still need a drawable range.
-	if xmax == xmin {
+	// Zero-span axes still need a drawable range (xmax >= xmin and
+	// ymax >= ymin hold by construction of the min/max scan).
+	if xmax <= xmin {
 		xmax = xmin + 1
 	}
-	if ymax == ymin {
+	if ymax <= ymin {
 		ymax = ymin + 1
 	}
 	// Anchor the y axis at zero when the data is non-negative: the
@@ -137,6 +138,7 @@ func (c *Chart) Render() (string, error) {
 func formatTick(v float64) string {
 	av := math.Abs(v)
 	switch {
+	//smartlint:allow floateq — an exactly-zero tick prints "0"; near-zero ticks keep their precision
 	case v == 0:
 		return "0"
 	case av >= 100:

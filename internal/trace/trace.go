@@ -8,9 +8,9 @@ package trace
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 
+	"smart/internal/order"
 	"smart/internal/wormhole"
 )
 
@@ -59,12 +59,7 @@ func (r *Recorder) PacketDelivered(cycle int64, pkt wormhole.PacketID) {
 
 // Packets returns the recorded packet ids in order.
 func (r *Recorder) Packets() []wormhole.PacketID {
-	ids := make([]wormhole.PacketID, 0, len(r.events))
-	for id := range r.events {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	return ids
+	return order.Keys(r.events)
 }
 
 // Events returns the recorded routing events of one packet.
