@@ -9,9 +9,17 @@
 // progress line and a final per-stage engine timing report on stderr;
 // -manifest appends one JSONL record per configuration; and
 // -cpuprofile/-memprofile/-trace feed go tool pprof/trace.
+//
+// Resilience (internal/resilience): a failing or panicking config no
+// longer aborts the study — every failure is reported at the end;
+// -checkpoint journals completed configs, Ctrl-C flushes the journal
+// and partial manifest, -resume skips journaled configs on the next
+// invocation, and -watchdog aborts deadlocked configs with a stall
+// diagnosis (configs that set WatchdogCycles keep their own budget).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -20,11 +28,13 @@ import (
 
 	"smart/internal/core"
 	"smart/internal/obs"
+	"smart/internal/resilience"
 	"smart/internal/results"
 )
 
 func main() {
 	obsFlags := obs.AddFlags(flag.CommandLine)
+	resFlags := resilience.AddFlags(flag.CommandLine)
 	configPath := flag.String("config", "", "path to the JSON batch description")
 	csvPath := flag.String("csv", "", "also write results as CSV")
 	manifestPath := flag.String("manifest", "", "append one JSONL run record per configuration to this file")
@@ -61,13 +71,31 @@ func main() {
 		fmt.Fprintln(os.Stderr, "batch:", err)
 		os.Exit(1)
 	}
+	for i := range b.Configs {
+		if b.Configs[i].WatchdogCycles == 0 {
+			b.Configs[i].WatchdogCycles = resFlags.Watchdog
+		}
+	}
 
 	stopProf, err := obsFlags.Start()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "batch:", err)
 		os.Exit(1)
 	}
-	opts := core.Options{Logger: obsFlags.Logger()}
+	ctx, stop := resilience.SignalContext(context.Background())
+	defer stop()
+	opts := core.Options{Logger: obsFlags.Logger(), Context: ctx}
+	ckpt, err := resFlags.Open()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "batch:", err)
+		os.Exit(1)
+	}
+	if ckpt != nil {
+		if resFlags.Resume && ckpt.Len() > 0 {
+			fmt.Fprintf(os.Stderr, "batch: resuming past %d checkpointed runs in %s\n", ckpt.Len(), ckpt.Path())
+		}
+		opts.Checkpoint = ckpt
+	}
 	var profiler *obs.StageProfiler
 	var progress *obs.Progress
 	if obsFlags.Verbose {
@@ -89,8 +117,16 @@ func main() {
 
 	res, err := b.RunWith(*workers, opts)
 	progress.Stop()
+	if ckpt != nil {
+		if cerr := ckpt.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "batch:", err)
+		if ckpt != nil {
+			fmt.Fprintf(os.Stderr, "batch: checkpoint %s holds %d completed runs; rerun with -resume to continue\n", ckpt.Path(), ckpt.Len())
+		}
 		os.Exit(1)
 	}
 

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -24,8 +25,13 @@ import (
 	"smart/internal/core"
 	"smart/internal/cost"
 	"smart/internal/obs"
+	"smart/internal/resilience"
 	"smart/internal/results"
 )
+
+// ckpt is the completed-run journal (-checkpoint); fatal reports it so
+// an interrupted or failed grid can be resumed instead of recomputed.
+var ckpt *resilience.Checkpoint
 
 // paperSaturation records the saturation points the paper's text quotes,
 // as fractions of capacity, keyed by pattern then configuration label.
@@ -40,6 +46,7 @@ var patterns = []string{"uniform", "complement", "transpose", "bitrev"}
 
 func main() {
 	obsFlags := obs.AddFlags(flag.CommandLine)
+	resFlags := resilience.AddFlags(flag.CommandLine)
 	quick := flag.Bool("quick", false, "coarse grid and short horizon (preview quality)")
 	ablate := flag.Bool("ablations", false, "also run the extension/ablation studies")
 	seed := flag.Uint64("seed", 1, "random seed")
@@ -92,7 +99,18 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	opts := core.Options{Logger: obsFlags.Logger()}
+	ctx, stop := resilience.SignalContext(context.Background())
+	defer stop()
+	opts := core.Options{Logger: obsFlags.Logger(), Context: ctx}
+	if ckpt, err = resFlags.Open(); err != nil {
+		fatal(err)
+	}
+	if ckpt != nil {
+		if resFlags.Resume && ckpt.Len() > 0 {
+			fmt.Fprintf(os.Stderr, "experiments: resuming past %d checkpointed runs in %s\n", ckpt.Len(), ckpt.Path())
+		}
+		opts.Checkpoint = ckpt
+	}
 	var profiler *obs.StageProfiler
 	var progress *obs.Progress
 	if obsFlags.Verbose {
@@ -119,6 +137,7 @@ func main() {
 			cfg.Pattern = pattern
 			cfg.Seed = *seed
 			cfg.Warmup, cfg.Horizon = warmup, horizon
+			cfg.WatchdogCycles = resFlags.Watchdog
 			o := opts
 			o.Batch = cfg.Label() + "/" + pattern
 			swept, err := core.SweepWith(cfg, loads, runtime.GOMAXPROCS(0), o)
@@ -220,6 +239,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "per-stage engine timing (hottest first):")
 		fmt.Fprint(os.Stderr, obs.FormatStageReport(profiler.Report()))
 	}
+	if ckpt != nil {
+		if err := ckpt.Close(); err != nil {
+			fatal(err)
+		}
+	}
 	if err := stopProf(); err != nil {
 		fatal(err)
 	}
@@ -242,5 +266,9 @@ func writeCSV(dir, name string, headers []string, rows [][]string) {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "experiments:", err)
+	if ckpt != nil {
+		ckpt.Close()
+		fmt.Fprintf(os.Stderr, "experiments: checkpoint %s holds %d completed runs; rerun with -resume to continue\n", ckpt.Path(), ckpt.Len())
+	}
 	os.Exit(1)
 }

@@ -1,0 +1,76 @@
+// Command manifest inspects JSONL run manifests (smart/run/v1 and v2).
+//
+//	manifest runs.jsonl              # per-file summary: records, failures, batches
+//	manifest -digest a.jsonl b.jsonl # canonical content digest per file
+//
+// The digest is order- and wall-time-independent (see obs.Digest), so
+// it is the right equality for the checkpoint/resume contract: an
+// interrupted sweep resumed with -resume digests identically to an
+// uninterrupted reference run. CI's resume smoke job relies on exactly
+// this comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"smart/internal/obs"
+	"smart/internal/order"
+)
+
+func main() {
+	digest := flag.Bool("digest", false, "print only the canonical content digest of each manifest")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "manifest: at least one manifest file is required")
+		os.Exit(2)
+	}
+	for _, path := range flag.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			fatal(err)
+		}
+		recs, err := obs.DecodeManifest(f)
+		f.Close()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", path, err))
+		}
+		if *digest {
+			fmt.Printf("%s  %s\n", obs.Digest(recs), path)
+			continue
+		}
+		summarize(path, recs)
+	}
+}
+
+func summarize(path string, recs []obs.RunRecord) {
+	completed, failed := 0, 0
+	batches := map[string]int{}
+	for _, rec := range recs {
+		if rec.Failure != "" {
+			failed++
+		} else {
+			completed++
+		}
+		batches[rec.Batch]++
+	}
+	fmt.Printf("%s: %d records (%d completed, %d failed), digest %s\n", path, len(recs), completed, failed, obs.Digest(recs))
+	for _, name := range order.Keys(batches) {
+		label := name
+		if label == "" {
+			label = "(unbatched)"
+		}
+		fmt.Printf("  %-40s %d records\n", label, batches[name])
+	}
+	for _, rec := range recs {
+		if rec.Failure != "" {
+			fmt.Printf("  FAILED %s index %d (%s): %s\n", rec.Label, rec.Index, rec.Fingerprint, rec.Failure)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "manifest:", err)
+	os.Exit(1)
+}

@@ -17,9 +17,19 @@
 // wall time); -cpuprofile/-memprofile/-trace feed go tool pprof/trace.
 //
 //	sweep -net tree -vcs 2 -quick -v -manifest runs.jsonl -cpuprofile cpu.prof
+//
+// Resilience (internal/resilience): -checkpoint journals completed runs
+// as they finish, Ctrl-C flushes the journal and partial manifest
+// instead of dropping them, and -resume skips the journaled runs on the
+// next invocation; -watchdog bounds how long a run may go without flit
+// progress before it aborts with a stall diagnosis.
+//
+//	sweep -net cube -alg duato -checkpoint sweep.ckpt            # interruptible
+//	sweep -net cube -alg duato -checkpoint sweep.ckpt -resume    # pick up where it left off
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -29,6 +39,7 @@ import (
 	"smart/internal/core"
 	"smart/internal/obs"
 	"smart/internal/plot"
+	"smart/internal/resilience"
 	"smart/internal/results"
 )
 
@@ -38,6 +49,7 @@ func main() {
 	var step float64
 	var quick bool
 	obsFlags := obs.AddFlags(flag.CommandLine)
+	resFlags := resilience.AddFlags(flag.CommandLine)
 	flag.StringVar(&manifestPath, "manifest", "", "append one JSONL run record per load point to this file")
 	flag.StringVar(&network, "net", "tree", "network family: tree or cube")
 	flag.IntVar(&cfg.K, "k", 0, "radix")
@@ -55,6 +67,7 @@ func main() {
 	flag.Parse()
 	cfg.Network = core.NetworkKind(network)
 	cfg.Algorithm = alg
+	cfg.WatchdogCycles = resFlags.Watchdog
 	if quick {
 		step = 0.1
 		if cfg.Warmup == 0 {
@@ -75,7 +88,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		os.Exit(1)
 	}
-	opts := core.Options{Logger: obsFlags.Logger()}
+	ctx, stop := resilience.SignalContext(context.Background())
+	defer stop()
+	opts := core.Options{Logger: obsFlags.Logger(), Context: ctx}
+	ckpt, err := resFlags.Open()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+	if ckpt != nil {
+		if resFlags.Resume && ckpt.Len() > 0 {
+			fmt.Fprintf(os.Stderr, "sweep: resuming past %d checkpointed runs in %s\n", ckpt.Len(), ckpt.Path())
+		}
+		opts.Checkpoint = ckpt
+	}
 	var profiler *obs.StageProfiler
 	var progress *obs.Progress
 	if obsFlags.Verbose {
@@ -97,8 +123,16 @@ func main() {
 
 	swept, err := core.SweepWith(cfg, loads, runtime.GOMAXPROCS(0), opts)
 	progress.Stop()
+	if ckpt != nil {
+		if cerr := ckpt.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
+		if ckpt != nil {
+			fmt.Fprintf(os.Stderr, "sweep: checkpoint %s holds %d completed runs; rerun with -resume to continue\n", ckpt.Path(), ckpt.Len())
+		}
 		os.Exit(1)
 	}
 

@@ -4,7 +4,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"sync/atomic"
 )
 
 // Batch is a named set of experiment configurations, loadable from JSON.
@@ -52,37 +51,24 @@ func (b Batch) Run(workers int) ([]Result, error) {
 	return b.RunWith(workers, Options{})
 }
 
-// RunWith executes the batch under observers. A failing configuration's
-// error carries the batch name, the config's index and fingerprint, and
-// how far the batch had progressed when it failed, and the same context
-// is emitted as a structured event — a mid-batch failure no longer
-// discards which run died.
+// RunWith executes the batch under observers. A failing configuration
+// no longer aborts the grid: every config runs (panics included — they
+// are isolated to their own slot), each failure's error carries the
+// batch name, the config's index and fingerprint, and how many runs
+// completed, the same context is emitted as a structured event and a
+// manifest failure record, and all failures come back joined alongside
+// the results that did complete (failed slots hold zero Results).
 func (b Batch) RunWith(workers int, opts Options) ([]Result, error) {
 	opts.Batch = b.Name
-	var completed atomic.Int64
-	results, err := runAll(len(b.Configs), workers, func(i int) (Result, error) {
-		cfg := b.Configs[i]
+	results, errs := runAll(opts.Context, len(b.Configs), workers, func(i int) (Result, error) {
 		o := opts
 		o.Index = i
-		res, err := RunWith(cfg, o)
-		if err != nil {
-			done := completed.Load()
-			err = fmt.Errorf("core: batch %q config %d (fingerprint %s, after %d/%d runs completed): %w",
-				b.Name, i, cfg.Fingerprint(), done, len(b.Configs), err)
-			if opts.Logger != nil {
-				opts.Logger.Error("batch config failed",
-					"batch", b.Name, "index", i, "cfg", cfg.Fingerprint(),
-					"completed", done, "total", len(b.Configs), "err", err)
-			}
-			return res, err
-		}
-		completed.Add(1)
-		return res, nil
+		return RunWith(b.Configs[i], o)
 	})
-	if err != nil {
-		return nil, err
-	}
-	return results, nil
+	err := finishGrid(opts, errs, "batch config failed", func(i int) (Config, string) {
+		return b.Configs[i], fmt.Sprintf("core: batch %q config %d", b.Name, i)
+	})
+	return results, err
 }
 
 // EncodeBatch writes the batch as indented JSON (the inverse of

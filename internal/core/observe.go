@@ -1,12 +1,15 @@
 package core
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log/slog"
 	"time"
 
 	"smart/internal/obs"
+	"smart/internal/resilience"
 )
 
 // Options threads the observability spine (internal/obs) through the
@@ -24,6 +27,14 @@ type Options struct {
 	Progress *obs.Progress
 	// Manifest, when set, receives one JSONL record per completed run.
 	Manifest *obs.ManifestWriter
+	// Checkpoint, when set, journals each completed run as it finishes
+	// and replays already-journaled configs instead of re-running them —
+	// the resume half of the kill-and-resume contract.
+	Checkpoint *resilience.Checkpoint
+	// Context, when set, interrupts a grid: runs not yet started when it
+	// is cancelled are skipped (reported as interrupted, not failed),
+	// while in-flight runs complete and reach the checkpoint.
+	Context context.Context
 	// Batch and Index stamp manifest records and errors with the run's
 	// position in an enclosing study; SweepWith and Batch.RunWith set
 	// Index themselves.
@@ -33,12 +44,20 @@ type Options struct {
 
 // observed reports whether any observer is attached.
 func (o Options) observed() bool {
-	return o.Logger != nil || o.Profiler != nil || o.Progress != nil || o.Manifest != nil
+	return o.Logger != nil || o.Profiler != nil || o.Progress != nil || o.Manifest != nil || o.Checkpoint != nil
 }
 
 // RunWith executes one experiment with the paper's methodology under the
-// given observers. With zero Options it is exactly Run.
+// given observers. With zero Options it is exactly Run. A config whose
+// fingerprint the checkpoint records as done is not re-run: its
+// journaled record is replayed into the manifest verbatim.
 func RunWith(cfg Config, opts Options) (Result, error) {
+	if opts.Checkpoint != nil {
+		full := cfg.WithDefaults()
+		if rec, ok := opts.Checkpoint.Done(full.Fingerprint()); ok {
+			return replayRun(full, rec, opts)
+		}
+	}
 	s, err := NewSimulation(cfg)
 	if err != nil {
 		if opts.Logger != nil {
@@ -48,6 +67,29 @@ func RunWith(cfg Config, opts Options) (Result, error) {
 		return Result{}, err
 	}
 	return s.RunWith(opts)
+}
+
+// replayRun reconstructs a checkpointed run's Result and re-emits its
+// journaled manifest record, so a resumed grid's manifest is
+// indistinguishable (modulo wall time and completion order) from an
+// uninterrupted one.
+func replayRun(cfg Config, rec obs.RunRecord, opts Options) (Result, error) {
+	res, err := ResultFromRecord(rec)
+	if err != nil {
+		return Result{}, fmt.Errorf("core: replaying checkpointed run %s: %w", rec.Fingerprint, err)
+	}
+	if logger := obs.RunLogger(opts.Logger, cfg.Fingerprint(), cfg.Label(), cfg.Pattern, cfg.Seed, cfg.Load); logger != nil {
+		logger.Info("run resumed from checkpoint", "cycles", rec.Cycles)
+	}
+	if opts.Progress != nil {
+		opts.Progress.RunDone(cfg.Load, rec.Cycles)
+	}
+	if opts.Manifest != nil {
+		if err := opts.Manifest.Write(rec); err != nil {
+			return res, fmt.Errorf("core: run manifest: %w", err)
+		}
+	}
+	return res, nil
 }
 
 // RunWith executes the assembled experiment under the given observers.
@@ -84,9 +126,14 @@ func (s *Simulation) RunWith(opts Options) (Result, error) {
 	if opts.Progress != nil {
 		opts.Progress.RunDone(cfg.Load, cycles)
 	}
-	if opts.Manifest != nil {
+	if opts.Manifest != nil || opts.Checkpoint != nil {
 		rec, rerr := runRecord(res, cycles, wall, opts)
-		if rerr == nil {
+		if rerr == nil && opts.Checkpoint != nil {
+			// Journal before the manifest: a kill between the two writes
+			// must not leave a manifest record the journal forgot.
+			rerr = opts.Checkpoint.Record(rec)
+		}
+		if rerr == nil && opts.Manifest != nil {
 			rerr = opts.Manifest.Write(rec)
 		}
 		if rerr != nil {
@@ -126,31 +173,43 @@ func wallMS(d time.Duration) float64 {
 // SweepWith is Sweep under observers: the Progress reporter sees every
 // completed load point, the Manifest gets one record per run (Index is
 // the load's position in the grid), and the Profiler aggregates stage
-// time across all parallel engines.
+// time across all parallel engines. A failing load point no longer
+// aborts the grid: the remaining points still run, the failures land in
+// the manifest as failure records, and the joined error is returned
+// alongside the results that did complete (failed slots hold zero
+// Results).
 func SweepWith(base Config, loads []float64, workers int, opts Options) ([]Result, error) {
 	if opts.Logger != nil {
 		opts.Logger.Info("sweep starting",
 			"cfg", base.Fingerprint(), "label", base.WithDefaults().Label(),
 			"runs", len(loads), "workers", workers)
 	}
-	results, err := runAll(len(loads), workers, func(i int) (Result, error) {
+	results, errs := runAll(opts.Context, len(loads), workers, func(i int) (Result, error) {
 		cfg := base
 		cfg.Load = loads[i]
 		o := opts
 		o.Index = i
 		return RunWith(cfg, o)
 	})
-	if err != nil {
-		return nil, err
-	}
-	return results, nil
+	err := finishGrid(opts, errs, "sweep run failed", func(i int) (Config, string) {
+		cfg := base
+		cfg.Load = loads[i]
+		return cfg, fmt.Sprintf("core: sweep run %d (load %g)", i, loads[i])
+	})
+	return results, err
 }
 
 // runAll executes n indexed runs across at most workers goroutines and
-// returns results in index order, or the first error encountered.
-func runAll(n, workers int, run func(i int) (Result, error)) ([]Result, error) {
+// returns results and errors in index order. A panicking run is
+// contained: it fails its own slot (with the stack attached) and the
+// rest of the grid proceeds. Once ctx is cancelled, runs that have not
+// started are skipped with a context error; in-flight runs complete.
+func runAll(ctx context.Context, n, workers int, run func(i int) (Result, error)) ([]Result, []error) {
 	if workers < 1 {
 		workers = 1
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	results := make([]Result, n)
 	errs := make([]error, n)
@@ -160,16 +219,90 @@ func runAll(n, workers int, run func(i int) (Result, error)) ([]Result, error) {
 		go func(i int) {
 			sem <- struct{}{}
 			defer func() { <-sem; done <- struct{}{} }()
-			results[i], errs[i] = run(i)
+			if err := ctx.Err(); err != nil {
+				errs[i] = fmt.Errorf("not started: %w", err)
+				return
+			}
+			errs[i] = resilience.Run(func() error {
+				var err error
+				results[i], err = run(i)
+				return err
+			})
 		}(i)
 	}
 	for i := 0; i < n; i++ {
 		<-done
 	}
+	return results, errs
+}
+
+// finishGrid settles a grid's per-run errors after runAll: each failure
+// is wrapped with its position, logged under the given event name, and
+// written to the manifest as a failure record, and the joined error is
+// returned. Runs skipped by a cancelled context appear in the error but
+// not in the manifest — they were interrupted, not failed, and a
+// resumed invocation completes them.
+func finishGrid(opts Options, errs []error, event string, what func(i int) (Config, string)) error {
+	completed := 0
 	for _, err := range errs {
-		if err != nil {
-			return nil, err
+		if err == nil {
+			completed++
 		}
 	}
-	return results, nil
+	var failures []error
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		cfg, desc := what(i)
+		failures = append(failures, fmt.Errorf("%s (fingerprint %s, after %d/%d runs completed): %w",
+			desc, cfg.Fingerprint(), completed, len(errs), err))
+		if errors.Is(err, context.Canceled) {
+			continue
+		}
+		if opts.Logger != nil {
+			opts.Logger.Error(event,
+				"batch", opts.Batch, "index", i, "cfg", cfg.Fingerprint(),
+				"completed", completed, "total", len(errs), "err", err)
+		}
+		if opts.Manifest != nil {
+			if werr := opts.Manifest.Write(failureRecord(cfg, i, opts.Batch, err)); werr != nil {
+				failures = append(failures, fmt.Errorf("core: failure manifest record %d: %w", i, werr))
+			}
+		}
+	}
+	return errors.Join(failures...)
+}
+
+// failureRecord assembles the manifest line for a failed run. Position
+// context lives in the record's own fields and a panic's stack is
+// log-only: the failure field must render deterministically across
+// invocations for manifest digests to be comparable.
+func failureRecord(cfg Config, index int, batch string, err error) obs.RunRecord {
+	full := cfg.WithDefaults()
+	raw, merr := json.Marshal(full)
+	if merr != nil {
+		raw = nil
+	}
+	return obs.RunRecord{
+		Schema:      obs.RunSchema,
+		Batch:       batch,
+		Index:       index,
+		Label:       full.Label(),
+		Pattern:     full.Pattern,
+		Seed:        full.Seed,
+		Load:        full.Load,
+		Fingerprint: full.Fingerprint(),
+		Config:      raw,
+		Failure:     failureText(err),
+	}
+}
+
+// failureText renders err for a manifest failure record.
+func failureText(err error) string {
+	var pe *resilience.PanicError
+	if errors.As(err, &pe) {
+		return fmt.Sprintf("panic: %v", pe.Value)
+	}
+	return err.Error()
 }

@@ -107,15 +107,23 @@ func Run(cfg Config) (Result, error) {
 }
 
 // Run executes warm-up, opens the measurement window, runs to the horizon
-// and measures.
+// and measures. With Config.WatchdogCycles set, a run whose fabric stops
+// making progress (a routing deadlock) aborts with the engine's
+// sim.StallError instead of burning cycles to the horizon.
 func (s *Simulation) Run() (Result, error) {
 	cfg := s.Config
 	s.Engine.Run(cfg.Warmup)
+	if err := s.stalled(); err != nil {
+		return Result{}, err
+	}
 	s.Window.Start(cfg.Warmup)
 	// Channel-utilization counters measure the same window as the
 	// bandwidth and latency statistics.
 	s.Fabric.ResetLinkStats()
 	s.Engine.Run(cfg.Horizon)
+	if err := s.stalled(); err != nil {
+		return Result{}, err
+	}
 	sample, err := s.Window.Measure(cfg.Horizon, cfg.Load)
 	if err != nil {
 		return Result{}, err
@@ -135,6 +143,15 @@ func (s *Simulation) Run() (Result, error) {
 	}
 	res.LatencyNS = phys.LatencyNS(sample.AvgLatency, timing.Clock)
 	return res, nil
+}
+
+// stalled surfaces the engine watchdog's diagnosis, identifying the
+// experiment it killed.
+func (s *Simulation) stalled() error {
+	if st := s.Engine.Stall(); st != nil {
+		return fmt.Errorf("core: %s (fingerprint %s): %w", s.Config.Label(), s.Config.Fingerprint(), st)
+	}
+	return nil
 }
 
 // Drain stops the traffic process and runs the engine until the network

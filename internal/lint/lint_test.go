@@ -93,7 +93,7 @@ func checkFixture(t *testing.T, name, importPath string) {
 }
 
 func TestRuleFixtures(t *testing.T) {
-	for _, name := range []string{"maprange", "wallclock", "globalrand", "floateq", "naketime", "allow"} {
+	for _, name := range []string{"maprange", "wallclock", "globalrand", "floateq", "naketime", "nakedrecover", "allow"} {
 		t.Run(name, func(t *testing.T) {
 			checkFixture(t, name, "fixture/"+name)
 		})
@@ -110,6 +110,19 @@ func TestWallclockExemptInObs(t *testing.T) {
 	}
 	if diags := Check(pkg); len(diags) != 0 {
 		t.Fatalf("internal/obs should be exempt from wallclock, got %d diagnostics: %v", len(diags), diags)
+	}
+}
+
+// TestRecoverExemptInResilience loads the nakedrecover fixture under an
+// internal/resilience import path: every recover the rule flags
+// elsewhere is legal there, so no diagnostics survive.
+func TestRecoverExemptInResilience(t *testing.T) {
+	pkg, err := NewLoader(".").LoadDir(filepath.Join("testdata", "src", "nakedrecover"), "smart/internal/resilience")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := Check(pkg); len(diags) != 0 {
+		t.Fatalf("internal/resilience should be exempt from nakedrecover, got %d diagnostics: %v", len(diags), diags)
 	}
 }
 

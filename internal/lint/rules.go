@@ -8,26 +8,28 @@ import (
 	"strings"
 )
 
-// The five rules of the determinism contract, plus the pseudo-rule
-// "allow" reported for malformed //smartlint:allow comments.
+// The six rules of the determinism and resilience contract, plus the
+// pseudo-rule "allow" reported for malformed //smartlint:allow comments.
 const (
-	RuleMapRange   = "maprange"
-	RuleWallclock  = "wallclock"
-	RuleGlobalRand = "globalrand"
-	RuleFloatEq    = "floateq"
-	RuleNakedTime  = "naketime"
-	ruleAllow      = "allow"
+	RuleMapRange     = "maprange"
+	RuleWallclock    = "wallclock"
+	RuleGlobalRand   = "globalrand"
+	RuleFloatEq      = "floateq"
+	RuleNakedTime    = "naketime"
+	RuleNakedRecover = "nakedrecover"
+	ruleAllow        = "allow"
 )
 
 // Rules lists the rule names in a fixed presentation order.
-var Rules = []string{RuleMapRange, RuleWallclock, RuleGlobalRand, RuleFloatEq, RuleNakedTime}
+var Rules = []string{RuleMapRange, RuleWallclock, RuleGlobalRand, RuleFloatEq, RuleNakedTime, RuleNakedRecover}
 
 var knownRules = map[string]bool{
-	RuleMapRange:   true,
-	RuleWallclock:  true,
-	RuleGlobalRand: true,
-	RuleFloatEq:    true,
-	RuleNakedTime:  true,
+	RuleMapRange:     true,
+	RuleWallclock:    true,
+	RuleGlobalRand:   true,
+	RuleFloatEq:      true,
+	RuleNakedTime:    true,
+	RuleNakedRecover: true,
 }
 
 // globalRandFns are the math/rand (and math/rand/v2) package-level
@@ -48,6 +50,12 @@ var globalRandFns = map[string]bool{
 // internal/obs is the designated home for wall-time instrumentation.
 func wallclockExempt(path string) bool {
 	return path == "internal/obs" || strings.HasSuffix(path, "/internal/obs")
+}
+
+// recoverExempt reports whether a package may call recover:
+// internal/resilience is the designated home for panic isolation.
+func recoverExempt(path string) bool {
+	return path == "internal/resilience" || strings.HasSuffix(path, "/internal/resilience")
 }
 
 // Check runs every rule over the package's non-test files and returns
@@ -118,6 +126,13 @@ func checkFile(pkg *Package, file *ast.File) []Diagnostic {
 					report(n.Pos(), RuleGlobalRand,
 						"%s.%s %s the shared global RNG: all simulation randomness must flow through the seeded sim RNG (or a local rand.New)",
 						path, n.Sel.Name, verb)
+				}
+			}
+		case *ast.CallExpr:
+			if ident, ok := n.Fun.(*ast.Ident); ok && ident.Name == "recover" {
+				if b, ok := pkg.Info.Uses[ident].(*types.Builtin); ok && b.Name() == "recover" && !recoverExempt(pkg.Path) {
+					report(n.Pos(), RuleNakedRecover,
+						"recover swallows panics outside internal/resilience: route panic isolation through resilience.Run so failures stay per-run errors with stacks")
 				}
 			}
 		case *ast.BinaryExpr:

@@ -1,0 +1,38 @@
+// Package nakedrecover exercises the nakedrecover rule: recover() is
+// permitted only inside internal/resilience, so panic-swallowing cannot
+// silently spread. The lint tests also load this package under an
+// internal/resilience import path to prove the exemption.
+package nakedrecover
+
+// Swallow recovers inline — the classic silent panic eater.
+func Swallow(fn func()) {
+	defer func() {
+		recover() // want "nakedrecover: recover swallows panics"
+	}()
+	fn()
+}
+
+// Inspect recovers into a variable; still flagged.
+func Inspect(fn func()) (v any) {
+	defer func() {
+		v = recover() // want "nakedrecover: recover swallows panics"
+	}()
+	fn()
+	return nil
+}
+
+// Allowed shows the audited escape hatch.
+func Allowed(fn func()) {
+	defer func() {
+		//smartlint:allow nakedrecover — fixture exercising the escape hatch
+		recover()
+	}()
+	fn()
+}
+
+// Shadowed is a control: a local function named recover is not the
+// builtin and stays legal.
+func Shadowed() {
+	recover := func() int { return 0 }
+	_ = recover()
+}

@@ -1,0 +1,54 @@
+package obs
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// Digest returns a canonical content hash of a set of manifest records.
+// Two manifests describing the same experiment outcome digest equal even
+// when they differ in the two run-dependent ways a resumed or parallel
+// run legitimately introduces: record order (parallel runners finish in
+// wall-clock order) and wall time. Records are sorted by (batch, index,
+// fingerprint, failure), the schema and WallMS fields are zeroed, and
+// the normalized JSON lines are hashed.
+//
+// This is the equality the checkpoint/resume contract promises: an
+// interrupted sweep resumed with -resume digests identically to an
+// uninterrupted one.
+func Digest(recs []RunRecord) string {
+	canon := make([]RunRecord, len(recs))
+	copy(canon, recs)
+	for i := range canon {
+		canon[i].Schema = ""
+		canon[i].WallMS = 0
+	}
+	sort.Slice(canon, func(i, j int) bool {
+		a, b := &canon[i], &canon[j]
+		if a.Batch != b.Batch {
+			return a.Batch < b.Batch
+		}
+		if a.Index != b.Index {
+			return a.Index < b.Index
+		}
+		if a.Fingerprint != b.Fingerprint {
+			return a.Fingerprint < b.Fingerprint
+		}
+		return a.Failure < b.Failure
+	})
+	h := sha256.New()
+	for _, rec := range canon {
+		line, err := json.Marshal(rec)
+		if err != nil {
+			// RunRecord marshals from plain value fields; failure here
+			// means the type itself regressed.
+			panic(fmt.Sprintf("obs: marshaling canonical record: %v", err))
+		}
+		h.Write(line)
+		h.Write([]byte{'\n'})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestDigestIgnoresOrderAndWallTime(t *testing.T) {
+	a := []RunRecord{sampleRecord(0), sampleRecord(1), sampleRecord(2)}
+	b := []RunRecord{sampleRecord(2), sampleRecord(0), sampleRecord(1)}
+	for i := range b {
+		b[i].WallMS = a[0].WallMS * 100
+		b[i].Schema = RunSchemaV1
+	}
+	if Digest(a) != Digest(b) {
+		t.Fatal("digest depends on order, wall time or schema stamp")
+	}
+	// Digest must not mutate its argument.
+	if a[0].Index != 0 || a[0].WallMS == 0 {
+		t.Fatalf("Digest mutated the input: %+v", a[0])
+	}
+}
+
+func TestDigestSeesContentChanges(t *testing.T) {
+	base := []RunRecord{sampleRecord(0)}
+	for name, mutate := range map[string]func(*RunRecord){
+		"sample":      func(r *RunRecord) { r.Sample.Accepted += 0.001 },
+		"failure":     func(r *RunRecord) { r.Failure = "panic: boom" },
+		"fingerprint": func(r *RunRecord) { r.Fingerprint = "feedfacefeedface" },
+		"load":        func(r *RunRecord) { r.Load += 0.01 },
+	} {
+		changed := []RunRecord{sampleRecord(0)}
+		mutate(&changed[0])
+		if Digest(base) == Digest(changed) {
+			t.Fatalf("digest blind to a %s change", name)
+		}
+	}
+	if Digest(nil) == Digest(base) {
+		t.Fatal("empty and non-empty manifests digest equal")
+	}
+}
+
+func TestManifestFailureRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	rec := sampleRecord(0)
+	rec.Sample = RunRecord{}.Sample
+	rec.Cycles = 0
+	rec.Failure = "sim: no progress for 501 cycles with work pending — possible deadlock"
+	if err := NewManifestWriter(&buf).Write(rec); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeManifest(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Failure != rec.Failure {
+		t.Fatalf("failure field lost in round trip: %+v", got)
+	}
+}
+
+func TestDecodeManifestAcceptsV1(t *testing.T) {
+	var buf bytes.Buffer
+	rec := sampleRecord(0)
+	rec.Schema = RunSchemaV1
+	if err := NewManifestWriter(&buf).Write(rec); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeManifest(&buf)
+	if err != nil {
+		t.Fatalf("v1 record rejected: %v", err)
+	}
+	if len(got) != 1 || got[0].Schema != RunSchemaV1 || got[0].Failure != "" {
+		t.Fatalf("v1 record decoded as %+v", got)
+	}
+}

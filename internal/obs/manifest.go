@@ -11,8 +11,14 @@ import (
 )
 
 // RunSchema versions the manifest record layout. Decoders reject
-// records whose schema they do not understand.
-const RunSchema = "smart/run/v1"
+// records whose schema they do not understand. v2 added the Failure
+// field: a grid no longer aborts on the first bad config, so failed
+// runs appear in the manifest alongside completed ones.
+const RunSchema = "smart/run/v2"
+
+// RunSchemaV1 is the previous layout, still accepted on decode: a v1
+// record is a v2 record with no failure.
+const RunSchemaV1 = "smart/run/v1"
 
 // RunRecord is one line of a JSONL run manifest: everything needed to
 // identify, reproduce and score a single simulation — the declarative
@@ -41,6 +47,10 @@ type RunRecord struct {
 	Sample metrics.Sample `json:"sample"`
 	Cycles int64          `json:"cycles"`
 	WallMS float64        `json:"wall_ms"`
+	// Failure, when non-empty, records why the run produced no sample
+	// (a stall diagnosis, a recovered panic); Sample and Cycles are then
+	// zero. Introduced with smart/run/v2.
+	Failure string `json:"failure,omitempty"`
 }
 
 // ManifestWriter appends RunRecords to a stream as JSONL, one record
@@ -84,7 +94,7 @@ func DecodeManifest(r io.Reader) ([]RunRecord, error) {
 			}
 			return nil, fmt.Errorf("obs: decoding manifest record %d: %w", len(recs), err)
 		}
-		if rec.Schema != RunSchema {
+		if rec.Schema != RunSchema && rec.Schema != RunSchemaV1 {
 			return nil, fmt.Errorf("obs: manifest record %d has unknown schema %q (want %q)", len(recs), rec.Schema, RunSchema)
 		}
 		recs = append(recs, rec)

@@ -1,0 +1,161 @@
+package resilience
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"smart/internal/obs"
+)
+
+// Checkpoint journals completed runs to a JSONL file, one manifest
+// record per line keyed by the config fingerprint, flushed as each run
+// finishes. Opened with resume, it loads the completed set so a
+// restarted grid skips finished work and replays the journaled records
+// into its manifest verbatim — which is what makes a resumed manifest
+// digest-identical to an uninterrupted one.
+//
+// Only successful runs are journaled: failures are cheap to re-attempt
+// and may have been fixed between invocations, so resume re-runs them.
+//
+// The file format tolerates exactly the corruption an interrupted
+// process produces: a torn final line (no trailing newline) is dropped
+// and overwritten on the next append. Any other malformed content is an
+// error — a mid-file parse failure means the file is not a checkpoint.
+type Checkpoint struct {
+	mu     sync.Mutex
+	f      *os.File
+	enc    *json.Encoder
+	path   string
+	done   map[string]obs.RunRecord
+	closed bool
+}
+
+// Open creates (or, with resume, reopens and loads) the checkpoint at
+// path. Without resume an existing file is truncated: a fresh run
+// starts a fresh journal.
+func Open(path string, resume bool) (*Checkpoint, error) {
+	flags := os.O_RDWR | os.O_CREATE
+	if !resume {
+		flags |= os.O_TRUNC
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("resilience: opening checkpoint: %w", err)
+	}
+	c := &Checkpoint{f: f, path: path, done: map[string]obs.RunRecord{}}
+	if resume {
+		valid, err := c.load()
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		// Drop the torn tail, if any, so appends start on a line boundary.
+		if err := f.Truncate(valid); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("resilience: truncating torn checkpoint tail: %w", err)
+		}
+		if _, err := f.Seek(valid, io.SeekStart); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("resilience: seeking checkpoint: %w", err)
+		}
+	}
+	c.enc = json.NewEncoder(f)
+	return c, nil
+}
+
+// load parses the journal and returns the byte offset of the end of the
+// last valid line.
+func (c *Checkpoint) load() (int64, error) {
+	data, err := io.ReadAll(c.f)
+	if err != nil {
+		return 0, fmt.Errorf("resilience: reading checkpoint %s: %w", c.path, err)
+	}
+	var off int64
+	line := 0
+	for len(data) > 0 {
+		nl := bytes.IndexByte(data, '\n')
+		if nl < 0 {
+			// Torn tail from an interrupted write: the run it described
+			// did not get journaled, so it simply re-runs.
+			break
+		}
+		line++
+		dec := json.NewDecoder(bytes.NewReader(data[:nl]))
+		dec.DisallowUnknownFields()
+		var rec obs.RunRecord
+		if err := dec.Decode(&rec); err != nil {
+			return 0, fmt.Errorf("resilience: checkpoint %s line %d is corrupt: %w", c.path, line, err)
+		}
+		if rec.Schema != obs.RunSchema && rec.Schema != obs.RunSchemaV1 {
+			return 0, fmt.Errorf("resilience: checkpoint %s line %d has unknown schema %q", c.path, line, rec.Schema)
+		}
+		c.done[rec.Fingerprint] = rec
+		off += int64(nl) + 1
+		data = data[nl+1:]
+	}
+	return off, nil
+}
+
+// Path returns the journal's file path.
+func (c *Checkpoint) Path() string { return c.path }
+
+// Len returns the number of completed fingerprints on record.
+func (c *Checkpoint) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.done)
+}
+
+// Done reports whether the config with the given fingerprint already
+// completed, returning its journaled record.
+func (c *Checkpoint) Done(fingerprint string) (obs.RunRecord, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rec, ok := c.done[fingerprint]
+	return rec, ok
+}
+
+// Record journals one completed run, flushing it to the file before
+// returning so a kill right after cannot lose it. Failure records are
+// ignored: resume re-runs failed configs. Safe for concurrent use by
+// parallel runners.
+func (c *Checkpoint) Record(rec obs.RunRecord) error {
+	if rec.Failure != "" {
+		return nil
+	}
+	if rec.Schema == "" {
+		rec.Schema = obs.RunSchema
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return fmt.Errorf("resilience: checkpoint %s is closed", c.path)
+	}
+	if err := c.enc.Encode(rec); err != nil {
+		return fmt.Errorf("resilience: journaling run %s: %w", rec.Fingerprint, err)
+	}
+	c.done[rec.Fingerprint] = rec
+	return nil
+}
+
+// Close syncs and closes the journal. Idempotent.
+func (c *Checkpoint) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	syncErr := c.f.Sync()
+	if err := c.f.Close(); err != nil {
+		return fmt.Errorf("resilience: closing checkpoint: %w", err)
+	}
+	if syncErr != nil {
+		return fmt.Errorf("resilience: syncing checkpoint: %w", syncErr)
+	}
+	return nil
+}

@@ -1,0 +1,45 @@
+package resilience
+
+import (
+	"errors"
+	"flag"
+)
+
+// DefaultWatchdogCycles is the commands' default no-progress budget: far
+// above any transient congestion stall at the loads the harness sweeps,
+// far below losing hours to a hung grid.
+const DefaultWatchdogCycles = 20000
+
+// Flags carries the resilience command-line options shared by the
+// long-running commands.
+type Flags struct {
+	// CheckpointPath is the completed-run journal ("" disables
+	// checkpointing); Resume loads it and skips finished configs.
+	CheckpointPath string
+	Resume         bool
+	// Watchdog is the no-progress cycle budget applied to configs that
+	// do not set their own; 0 disables the watchdog.
+	Watchdog int64
+}
+
+// AddFlags registers -checkpoint, -resume and -watchdog on fs.
+func AddFlags(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.StringVar(&f.CheckpointPath, "checkpoint", "", "journal completed runs to this JSONL `file` as they finish")
+	fs.BoolVar(&f.Resume, "resume", false, "skip configs already completed in the -checkpoint journal")
+	fs.Int64Var(&f.Watchdog, "watchdog", DefaultWatchdogCycles, "abort a run after this many `cycles` without progress (0 disables)")
+	return f
+}
+
+// Open materializes the checkpoint the flags describe, or nil when
+// checkpointing is off. -resume without -checkpoint is an error: there
+// is nothing to resume from.
+func (f *Flags) Open() (*Checkpoint, error) {
+	if f.CheckpointPath == "" {
+		if f.Resume {
+			return nil, errors.New("resilience: -resume requires -checkpoint")
+		}
+		return nil, nil
+	}
+	return Open(f.CheckpointPath, f.Resume)
+}

@@ -1,0 +1,89 @@
+package routing
+
+import (
+	"strings"
+	"testing"
+
+	"smart/internal/sim"
+	"smart/internal/topology"
+	"smart/internal/wormhole"
+)
+
+// noEscape drives Duato's adaptive channels with the escape subnetwork
+// disabled — the configuration invariant whose violation the paper's
+// deadlock-freedom argument rests on — by refusing every escape-lane
+// allocation on router-to-router hops. Ejection stays untouched.
+type noEscape struct{ *Duato }
+
+func (a *noEscape) Name() string { return "duato-no-escape" }
+
+func (a *noEscape) Route(f *wormhole.Fabric, r, inPort, inLane int, pkt wormhole.PacketID) (int, int, bool) {
+	port, lane, ok := a.Duato.Route(f, r, inPort, inLane, pkt)
+	if ok && port != a.cube.NodePort() && lane >= duatoEscapeBase {
+		return 0, 0, false
+	}
+	return port, lane, ok
+}
+
+// TestWatchdogDiagnosesEscapeDisabledDeadlock is the seeded-deadlock
+// fixture of the run-resilience contract: adaptive routing without its
+// escape channels deadlocks on a ring, and instead of hanging to the
+// horizon the engine watchdog must stop the run within its budget with
+// a StallError whose snapshot names the blocked headers.
+func TestWatchdogDiagnosesEscapeDisabledDeadlock(t *testing.T) {
+	const (
+		k       = 8
+		budget  = 500
+		horizon = 50000
+	)
+	cube, err := topology.NewCube(k, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := wormhole.NewFabric(cube, wormhole.Config{
+		VCs: cubeVCs, BufDepth: 2, PacketFlits: 64, InjLanes: 1, WatchdogCycles: budget,
+	}, &noEscape{NewDuato(cube)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every node sends one long worm three hops clockwise: each link is
+	// minimal for three worms but has only two adaptive lanes, so with
+	// escapes refused the ring wedges into a cyclic wait.
+	for n := 0; n < k; n++ {
+		f.EnqueuePacket(n, (n+3)%k, 0)
+	}
+	e := sim.NewEngine()
+	f.Register(e)
+	e.Run(horizon)
+
+	stall := e.Stall()
+	if stall == nil {
+		t.Fatalf("escape-disabled ring did not trip the watchdog (cycle %d, in flight %d)", e.Cycle(), f.InFlight())
+	}
+	if e.Cycle() >= horizon {
+		t.Fatalf("watchdog fired only at the horizon (cycle %d)", e.Cycle())
+	}
+	// The watchdog fires on the first cycle past the budget, within it
+	// counting from the last progress.
+	if stalled := stall.Cycle - stall.StalledSince; stalled != budget+1 {
+		t.Fatalf("watchdog fired after %d stalled cycles, want budget %d exceeded by one", stalled, budget)
+	}
+	snap, ok := stall.Report.(*wormhole.StallSnapshot)
+	if !ok {
+		t.Fatalf("stall report is %T, want *wormhole.StallSnapshot", stall.Report)
+	}
+	if len(snap.Blocked) == 0 {
+		t.Fatalf("stall snapshot names no blocked header: %+v", snap)
+	}
+	for _, h := range snap.Blocked {
+		if h.Router < 0 || h.Router >= k || int(h.Packet) < 0 || int(h.Packet) >= k {
+			t.Fatalf("blocked header has impossible coordinates: %+v", h)
+		}
+		if h.Src != int(h.Packet) || h.Dst != (h.Src+3)%k {
+			t.Fatalf("blocked header misattributes its packet: %+v", h)
+		}
+	}
+	if msg := stall.Error(); !strings.Contains(msg, "possible deadlock") || !strings.Contains(msg, "blocked at router") {
+		t.Fatalf("diagnosis does not read as a deadlock post-mortem:\n%s", msg)
+	}
+}

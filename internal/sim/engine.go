@@ -37,6 +37,8 @@ type Engine struct {
 	cycle  int64
 	stages []Stage
 	stops  []StopCondition
+	wd     *watchdog
+	stall  *StallError
 }
 
 // NewEngine returns an empty engine at cycle 0.
@@ -98,14 +100,25 @@ func (e *Engine) Step() {
 // again resumes from where the previous call left off, which the drain
 // phase of a simulation uses to extend the horizon after shutting off
 // injection.
+// A watched engine (see Watch) also stops when the no-progress budget
+// is exhausted; check Stall after Run to distinguish a deadlock abort
+// from a normal stop.
 func (e *Engine) Run(horizon int64) int64 {
 	if horizon < e.cycle {
 		panic(fmt.Sprintf("sim: Run horizon %d precedes current cycle %d", horizon, e.cycle))
+	}
+	if e.stall != nil {
+		return e.cycle
 	}
 	for e.cycle < horizon {
 		e.Step()
 		for _, stop := range e.stops {
 			if stop(e.cycle) {
+				return e.cycle
+			}
+		}
+		if e.wd != nil {
+			if e.stall = e.wd.check(e.cycle); e.stall != nil {
 				return e.cycle
 			}
 		}

@@ -1,0 +1,96 @@
+package sim
+
+import "fmt"
+
+// Watchable exposes the progress signals the engine's no-progress
+// watchdog samples once per cycle. The wormhole fabric is the canonical
+// implementation: flit movement and delivery drive the counter.
+type Watchable interface {
+	// Progress returns a monotonically non-decreasing counter of useful
+	// work performed so far (flits moved, packets drained). The watchdog
+	// only compares successive values, so the unit is immaterial.
+	Progress() int64
+	// Pending reports whether work is outstanding. Stalled cycles are
+	// counted only while work is pending: an idle network is quiet, not
+	// deadlocked.
+	Pending() bool
+	// StallReport captures a diagnostic snapshot at the moment the
+	// watchdog fires (per-lane occupancy, blocked headers, credit
+	// state). It is called at most once per stall.
+	StallReport() any
+}
+
+// StallError reports that a watched engine made no progress for longer
+// than its cycle budget while work was pending — the signature of a
+// routing deadlock. It carries the diagnostic snapshot taken when the
+// watchdog fired, so a misconfigured run dies with a post-mortem
+// instead of hanging a sweep until the process is killed.
+type StallError struct {
+	// Cycle is the cycle at which the watchdog fired; StalledSince the
+	// last cycle at which the progress counter moved; Budget the
+	// configured no-progress allowance.
+	Cycle        int64
+	StalledSince int64
+	Budget       int64
+	// Report is the Watchable's diagnostic snapshot (for the wormhole
+	// fabric, a *wormhole.StallSnapshot). Its String form, when it has
+	// one, is appended to Error.
+	Report any
+}
+
+// Error implements the error interface with a one-line diagnosis
+// followed by the snapshot's rendering.
+func (e *StallError) Error() string {
+	msg := fmt.Sprintf("sim: no progress for %d cycles with work pending (budget %d, stalled since cycle %d, aborted at cycle %d) — possible deadlock",
+		e.Cycle-e.StalledSince, e.Budget, e.StalledSince, e.Cycle)
+	if e.Report != nil {
+		msg += "\n" + fmt.Sprint(e.Report)
+	}
+	return msg
+}
+
+// watchdog tracks the progress counter between cycles.
+type watchdog struct {
+	budget int64
+	target Watchable
+	last   int64 // last observed progress value
+	since  int64 // cycle at which last changed (or work went idle)
+}
+
+// check samples the target after the given cycle and returns a
+// StallError once the no-progress budget is exhausted.
+func (w *watchdog) check(cycle int64) *StallError {
+	if p := w.target.Progress(); p != w.last {
+		w.last = p
+		w.since = cycle
+		return nil
+	}
+	if !w.target.Pending() {
+		w.since = cycle
+		return nil
+	}
+	if cycle-w.since <= w.budget {
+		return nil
+	}
+	return &StallError{Cycle: cycle, StalledSince: w.since, Budget: w.budget, Report: w.target.StallReport()}
+}
+
+// Watch installs a no-progress watchdog: if w's progress counter stays
+// flat for more than budget cycles while w reports pending work, Run
+// stops early and Stall returns the diagnosis. A second call replaces
+// the previous watchdog.
+func (e *Engine) Watch(budget int64, w Watchable) {
+	if w == nil {
+		panic("sim: Watch called with nil target")
+	}
+	if budget <= 0 {
+		panic(fmt.Sprintf("sim: Watch budget must be positive, got %d", budget))
+	}
+	e.wd = &watchdog{budget: budget, target: w, last: w.Progress(), since: e.cycle}
+}
+
+// Stall returns the watchdog's diagnosis if a watched Run stopped on a
+// no-progress stall, and nil otherwise. Once set it stays set: a
+// stalled engine cannot make further progress, and subsequent Run
+// calls return immediately.
+func (e *Engine) Stall() *StallError { return e.stall }

@@ -1,0 +1,130 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+// fakeWatchable scripts the progress signals the watchdog samples.
+type fakeWatchable struct {
+	progress int64
+	pending  bool
+	reports  int
+}
+
+func (w *fakeWatchable) Progress() int64 { return w.progress }
+func (w *fakeWatchable) Pending() bool   { return w.pending }
+func (w *fakeWatchable) StallReport() any {
+	w.reports++
+	return "fake report"
+}
+
+func watchedEngine(w Watchable, budget int64) *Engine {
+	e := NewEngine()
+	e.RegisterFunc("noop", func(int64) {})
+	e.Watch(budget, w)
+	return e
+}
+
+func TestWatchdogFiresAfterBudgetWhilePending(t *testing.T) {
+	w := &fakeWatchable{pending: true}
+	e := watchedEngine(w, 10)
+	stopped := e.Run(1000)
+	stall := e.Stall()
+	if stall == nil {
+		t.Fatal("flat progress with pending work did not stall")
+	}
+	// Cycle 0 is the last "progress" reference point (Watch samples at
+	// install), so the first cycle past the budget is budget+1.
+	if stopped != 11 || stall.Cycle != 11 || stall.StalledSince != 0 || stall.Budget != 10 {
+		t.Fatalf("stall = %+v at cycle %d, want fired at cycle 11 (budget 10 from cycle 0)", stall, stopped)
+	}
+	if stall.Report != "fake report" || w.reports != 1 {
+		t.Fatalf("snapshot taken %d times with report %v, want exactly once", w.reports, stall.Report)
+	}
+	if msg := stall.Error(); !strings.Contains(msg, "possible deadlock") || !strings.Contains(msg, "fake report") {
+		t.Fatalf("unexpected diagnosis: %s", msg)
+	}
+}
+
+func TestWatchdogQuietWhenIdle(t *testing.T) {
+	w := &fakeWatchable{pending: false}
+	e := watchedEngine(w, 10)
+	if e.Run(1000) != 1000 {
+		t.Fatal("idle engine stopped early")
+	}
+	if e.Stall() != nil {
+		t.Fatalf("idle engine reported a stall: %v", e.Stall())
+	}
+}
+
+func TestWatchdogQuietWhileProgressAdvances(t *testing.T) {
+	w := &fakeWatchable{pending: true}
+	e := NewEngine()
+	e.RegisterFunc("advance", func(int64) { w.progress++ })
+	e.Watch(10, w)
+	if e.Run(1000) != 1000 {
+		t.Fatal("advancing engine stopped early")
+	}
+	if e.Stall() != nil {
+		t.Fatalf("advancing engine reported a stall: %v", e.Stall())
+	}
+}
+
+func TestWatchdogResetsAfterProgressBurst(t *testing.T) {
+	w := &fakeWatchable{pending: true}
+	e := NewEngine()
+	// Progress moves once at cycle 7; the watchdog observes it in the
+	// post-cycle check at 8 and the stall clock restarts there.
+	e.RegisterFunc("burst", func(cycle int64) {
+		if cycle == 7 {
+			w.progress++
+		}
+	})
+	e.Watch(10, w)
+	e.Run(1000)
+	stall := e.Stall()
+	if stall == nil {
+		t.Fatal("engine never stalled after the burst")
+	}
+	if stall.StalledSince != 8 || stall.Cycle != 19 {
+		t.Fatalf("stall = %+v, want stalled since cycle 8, fired at 19", stall)
+	}
+}
+
+func TestStalledEngineStaysStopped(t *testing.T) {
+	w := &fakeWatchable{pending: true}
+	e := watchedEngine(w, 5)
+	e.Run(1000)
+	first := e.Stall()
+	if first == nil {
+		t.Fatal("engine did not stall")
+	}
+	at := e.Cycle()
+	if got := e.Run(2000); got != at {
+		t.Fatalf("stalled engine ran on to cycle %d, want immediate return at %d", got, at)
+	}
+	if e.Stall() != first {
+		t.Fatal("second Run replaced the stall diagnosis")
+	}
+	if w.reports != 1 {
+		t.Fatalf("snapshot taken %d times across Run calls, want once", w.reports)
+	}
+}
+
+func TestWatchValidation(t *testing.T) {
+	e := NewEngine()
+	for name, fn := range map[string]func(){
+		"nil target":  func() { e.Watch(10, nil) },
+		"zero budget": func() { e.Watch(0, &fakeWatchable{}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil { //smartlint:allow nakedrecover — asserting Watch panics on bad arguments
+					t.Errorf("Watch with %s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -23,9 +23,10 @@ type Config struct {
 	// uses a single injection channel between processor and router
 	// (source throttling, §3); the ablation harness can raise it.
 	InjLanes int
-	// WatchdogCycles, when positive, makes the fabric panic if no flit
-	// advances for that many consecutive cycles while flits are in
-	// flight — a deadlock detector for tests. Zero disables it.
+	// WatchdogCycles, when positive, arms the engine's no-progress
+	// watchdog at Register time: if no flit advances for that many
+	// consecutive cycles while flits are in flight, the run stops with
+	// a sim.StallError carrying a fabric snapshot. Zero disables it.
 	WatchdogCycles int64
 	// StoreAndForward, when true, gates routing on the whole packet
 	// being buffered in the input lane — the pre-wormhole switching
@@ -195,11 +196,11 @@ type Fabric struct {
 	pendingCredits []laneRefAt
 	pendingNIC     []int32
 
-	counters     Counters
-	inFlight     int64 // flits injected but not yet delivered
-	queued       int64 // packets in source queues or part-way through injection
-	lastProgress int64
-	cycle        int64
+	counters Counters
+	inFlight int64 // flits injected but not yet delivered
+	queued   int64 // packets in source queues or part-way through injection
+	progress int64 // monotonic: counts flit movements and deliveries
+	cycle    int64
 
 	// linkFlits[pid] counts flits transmitted out of port pid (including
 	// ejection ports); internal/chanstats aggregates it into per-level
@@ -363,13 +364,18 @@ func (f *Fabric) outLanesOf(pid int) []outLane { return f.out[f.outOff[pid]:f.ou
 // canonical order: link transfer, crossbar transfer, routing, injection,
 // credit commit. A traffic generator should be registered between routing
 // and injection (or anywhere before injection) so packets created in a
-// cycle can start injecting the same cycle.
+// cycle can start injecting the same cycle. When Cfg.WatchdogCycles is
+// positive the fabric is also installed as the engine's no-progress
+// watchdog target.
 func (f *Fabric) Register(e *sim.Engine) {
 	e.RegisterFunc("link", f.linkStage)
 	e.RegisterFunc("crossbar", f.crossbarStage)
 	e.RegisterFunc("routing", f.routingStage)
 	e.RegisterFunc("injection", f.injectionStage)
 	e.RegisterFunc("credits", f.creditStage)
+	if f.Cfg.WatchdogCycles > 0 {
+		e.Watch(f.Cfg.WatchdogCycles, f)
+	}
 }
 
 // Counters returns a snapshot of the running totals.
@@ -569,7 +575,7 @@ func (f *Fabric) linkPort(pid int32, cycle int64) {
 			}
 			f.linkRR[pid] = int32((l + 1) % n)
 			f.linkFlits[pid]++
-			f.lastProgress = cycle
+			f.progress++
 			break
 		}
 	case topology.PortNode:
@@ -594,7 +600,7 @@ func (f *Fabric) linkPort(pid int32, cycle int64) {
 			}
 			f.linkRR[pid] = int32((l + 1) % n)
 			f.linkFlits[pid]++
-			f.lastProgress = cycle
+			f.progress++
 			break
 		}
 	}
@@ -619,7 +625,7 @@ func (f *Fabric) commitWireArrivals(cycle int64) {
 			case topology.PortNode:
 				f.deliver(fl.fl, fl.at)
 			}
-			f.lastProgress = cycle
+			f.progress++
 		}
 		if w.empty() {
 			f.wireActive.remove(pid)
@@ -697,7 +703,7 @@ func (f *Fabric) xbarLane(id int32, cycle int64) {
 	moved := il.pop()
 	moved.MovedAt = cycle
 	f.pushOut(opid, ol, moved)
-	f.lastProgress = cycle
+	f.progress++
 	if moved.Kind.IsTail() {
 		il.bound = noRef
 		ol.boundIn = noRef
@@ -759,7 +765,7 @@ func (f *Fabric) routeRouter(r int, cycle int64) {
 			out.boundIn = packRef(p, l)
 			fl.MovedAt = cycle // routing itself takes T_routing = 1 cycle
 			f.Packets[fl.Packet].Hops++
-			f.lastProgress = cycle
+			f.progress++
 			f.dropUnrouted(r)
 			f.xbarActive.add(id)
 			if f.Tracer != nil {
@@ -848,7 +854,7 @@ func (f *Fabric) injectNIC(n32 int32, cycle int64) {
 		st.credit--
 		f.counters.FlitsInjected++
 		f.inFlight++
-		f.lastProgress = cycle
+		f.progress++
 		if st.nextSeq == 0 {
 			pk.InjectedAt = cycle
 			f.counters.PacketsInjected++
@@ -874,7 +880,7 @@ func (f *Fabric) injectNIC(n32 int32, cycle int64) {
 }
 
 // creditStage commits the cycle's deferred credit returns (the ack lines
-// take one cycle) and runs the deadlock watchdog.
+// take one cycle).
 func (f *Fabric) creditStage(cycle int64) {
 	for _, c := range f.pendingCredits {
 		p, l := c.ref.unpack()
@@ -894,11 +900,6 @@ func (f *Fabric) creditStage(cycle int64) {
 		}
 	}
 	f.pendingNIC = f.pendingNIC[:0]
-
-	if f.Cfg.WatchdogCycles > 0 && f.inFlight > 0 && cycle-f.lastProgress > f.Cfg.WatchdogCycles {
-		panic(fmt.Sprintf("wormhole: no progress for %d cycles with %d flits in flight (algorithm %s) — possible deadlock",
-			cycle-f.lastProgress, f.inFlight, f.Alg.Name()))
-	}
 }
 
 // LinkFlits returns the number of flits transmitted out of router r's

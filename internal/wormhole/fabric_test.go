@@ -294,21 +294,34 @@ func TestWatchdogFiresOnRingDeadlock(t *testing.T) {
 	// Classic wormhole deadlock: every node on a 4-ring sends a long worm
 	// two hops forward with a single virtual channel and no wrap-around
 	// escape. The cyclic channel dependency stops all movement and the
-	// watchdog must fire.
+	// engine watchdog must stop the run with a stall diagnosis.
 	f, cube := ringFabric(t, 4, Config{VCs: 1, BufDepth: 2, PacketFlits: 64, InjLanes: 1, WatchdogCycles: 200})
 	for n := 0; n < cube.Nodes(); n++ {
 		f.EnqueuePacket(n, (n+2)%4, 0)
 	}
-	defer func() {
-		r := recover()
-		if r == nil {
-			t.Fatal("deadlocked ring did not trip the watchdog")
-		}
-		if !strings.Contains(r.(string), "possible deadlock") {
-			t.Fatalf("unexpected panic: %v", r)
-		}
-	}()
-	runFabric(f, 5000)
+	e := runFabric(f, 5000)
+	stall := e.Stall()
+	if stall == nil {
+		t.Fatal("deadlocked ring did not trip the watchdog")
+	}
+	if e.Cycle() >= 5000 {
+		t.Fatalf("watchdog fired only at the horizon (cycle %d)", e.Cycle())
+	}
+	if !strings.Contains(stall.Error(), "possible deadlock") {
+		t.Fatalf("unexpected diagnosis: %v", stall)
+	}
+	snap, ok := stall.Report.(*StallSnapshot)
+	if !ok {
+		t.Fatalf("stall report is %T, want *StallSnapshot", stall.Report)
+	}
+	if snap.InFlight == 0 || len(snap.Lanes) == 0 {
+		t.Fatalf("snapshot missing fabric state: %+v", snap)
+	}
+	// A watched engine stays stopped: another Run must return
+	// immediately with the same diagnosis.
+	if got := e.Run(10000); got != e.Cycle() || e.Stall() != stall {
+		t.Fatalf("stalled engine resumed (cycle %d, stall %v)", got, e.Stall())
+	}
 }
 
 func TestWatchdogQuietOnLivePacketFlow(t *testing.T) {
@@ -316,7 +329,10 @@ func TestWatchdogQuietOnLivePacketFlow(t *testing.T) {
 	for n := 0; n < cube.Nodes(); n++ {
 		f.EnqueuePacket(n, (n+1)%8, 0)
 	}
-	runFabric(f, 3000) // must not panic
+	e := runFabric(f, 3000)
+	if st := e.Stall(); st != nil {
+		t.Fatalf("live traffic tripped the watchdog: %v", st)
+	}
 	if !f.Drained() {
 		t.Fatal("traffic did not drain")
 	}

@@ -1,0 +1,185 @@
+package wormhole
+
+import (
+	"fmt"
+	"strings"
+
+	"smart/internal/sim"
+)
+
+// The fabric is the engine watchdog's canonical target: flit movements
+// and deliveries drive the progress counter, and a stall produces a
+// StallSnapshot post-mortem.
+var _ sim.Watchable = (*Fabric)(nil)
+
+// Progress returns the monotonic work counter the watchdog samples: it
+// advances whenever a flit moves a pipeline stage or is delivered.
+func (f *Fabric) Progress() int64 { return f.progress }
+
+// Pending reports whether flits are inside the network. Source-queued
+// packets are excluded deliberately: a throttled source waiting on an
+// empty network is idle, not deadlocked.
+func (f *Fabric) Pending() bool { return f.inFlight > 0 }
+
+// StallReport captures the fabric's state for a stall post-mortem.
+func (f *Fabric) StallReport() any { return f.snapshot() }
+
+// Snapshot caps keep the post-mortem readable on large fabrics; totals
+// record how much was elided.
+const (
+	snapshotMaxHeaders = 16
+	snapshotMaxLanes   = 32
+)
+
+// BlockedHeader names one packet header buffered in an input lane of a
+// stalled fabric — the wait-for graph's nodes, and the first thing to
+// look at in a deadlock post-mortem.
+type BlockedHeader struct {
+	// Router, Port, Lane locate the input lane holding the header.
+	Router, Port, Lane int
+	Packet             PacketID
+	Src, Dst           int
+	// Hops is how many routing decisions the packet had won before the
+	// stall.
+	Hops int
+	// Routed reports whether the header's lane is bound to an output
+	// (stuck on credits or a full buffer) rather than still waiting for
+	// a routing decision.
+	Routed bool
+	// FrontAge is the number of cycles since the lane's front flit last
+	// advanced a pipeline stage.
+	FrontAge int64
+}
+
+// LaneState records one lane's occupancy and credit state. Only lanes
+// that deviate from the idle state (buffered flits, missing credits, or
+// a live binding) are captured.
+type LaneState struct {
+	// Router, Port, Lane locate the lane; Dir is "in" or "out".
+	Router, Port, Lane int
+	Dir                string
+	// Flits of Depth buffer slots are occupied. Credits is the output
+	// lane's remaining credit count, or -1 for input lanes (credit state
+	// lives on the sending side).
+	Flits, Depth, Credits int
+	// Bound reports a live crossbar binding (in: allocated an output
+	// lane; out: claimed by an input lane).
+	Bound bool
+}
+
+// StallSnapshot is the fabric post-mortem attached to a sim.StallError:
+// every blocked header plus the occupancy and credit state of every
+// non-idle lane, capped for readability (the totals count what was
+// elided).
+type StallSnapshot struct {
+	Cycle     int64
+	Algorithm string
+	InFlight  int64 // flits inside the network
+	Queued    int64 // packets still at sources
+
+	Blocked      []BlockedHeader
+	BlockedTotal int
+	Lanes        []LaneState
+	LanesTotal   int
+}
+
+func (s *StallSnapshot) recordHeader(h BlockedHeader) {
+	s.BlockedTotal++
+	if len(s.Blocked) < snapshotMaxHeaders {
+		s.Blocked = append(s.Blocked, h)
+	}
+}
+
+func (s *StallSnapshot) recordLane(l LaneState) {
+	s.LanesTotal++
+	if len(s.Lanes) < snapshotMaxLanes {
+		s.Lanes = append(s.Lanes, l)
+	}
+}
+
+// snapshot walks every port's lanes — the same coverage as
+// CheckInvariants — and records the non-idle ones.
+func (f *Fabric) snapshot() *StallSnapshot {
+	s := &StallSnapshot{
+		Cycle:     f.cycle,
+		Algorithm: f.Alg.Name(),
+		InFlight:  f.inFlight,
+		Queued:    f.queued,
+	}
+	for pid := range f.ports {
+		r, p := pid/f.deg, pid%f.deg
+		inLanes := f.inLanesOf(pid)
+		for l := range inLanes {
+			il := &inLanes[l]
+			if il.n == 0 {
+				continue
+			}
+			s.recordLane(LaneState{
+				Router: r, Port: p, Lane: l, Dir: "in",
+				Flits: il.n, Depth: il.cap(), Credits: -1, Bound: il.bound != noRef,
+			})
+			for i := 0; i < il.n; i++ {
+				fl := il.at(i)
+				if !fl.Kind.IsHead() {
+					continue
+				}
+				pk := &f.Packets[fl.Packet]
+				s.recordHeader(BlockedHeader{
+					Router: r, Port: p, Lane: l,
+					Packet: fl.Packet, Src: int(pk.Src), Dst: int(pk.Dst), Hops: int(pk.Hops),
+					Routed:   i == 0 && il.bound != noRef,
+					FrontAge: f.cycle - il.front().MovedAt,
+				})
+				break // one header per lane is enough to seed the diagnosis
+			}
+		}
+		outLanes := f.outLanesOf(pid)
+		for l := range outLanes {
+			ol := &outLanes[l]
+			if ol.n == 0 && int(ol.credits) == f.Cfg.BufDepth && ol.boundIn == noRef {
+				continue
+			}
+			s.recordLane(LaneState{
+				Router: r, Port: p, Lane: l, Dir: "out",
+				Flits: ol.n, Depth: ol.cap(), Credits: int(ol.credits), Bound: ol.boundIn != noRef,
+			})
+		}
+	}
+	return s
+}
+
+// String renders the snapshot for the StallError message: a summary
+// line, the blocked headers, then the non-idle lanes.
+func (s *StallSnapshot) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fabric at cycle %d: algorithm %s, %d flits in flight, %d packets queued, %d blocked headers, %d non-idle lanes",
+		s.Cycle, s.Algorithm, s.InFlight, s.Queued, s.BlockedTotal, s.LanesTotal)
+	for _, h := range s.Blocked {
+		state := "unrouted"
+		if h.Routed {
+			state = "routed"
+		}
+		fmt.Fprintf(&b, "\n  header of packet %d (%d->%d, %d hops, %s) blocked at router %d port %d lane %d for %d cycles",
+			h.Packet, h.Src, h.Dst, h.Hops, state, h.Router, h.Port, h.Lane, h.FrontAge)
+	}
+	if n := s.BlockedTotal - len(s.Blocked); n > 0 {
+		fmt.Fprintf(&b, "\n  ... and %d more blocked headers", n)
+	}
+	for _, l := range s.Lanes {
+		bound := ""
+		if l.Bound {
+			bound = ", bound"
+		}
+		if l.Dir == "out" {
+			fmt.Fprintf(&b, "\n  out lane router %d port %d lane %d: %d/%d flits, %d credits%s",
+				l.Router, l.Port, l.Lane, l.Flits, l.Depth, l.Credits, bound)
+		} else {
+			fmt.Fprintf(&b, "\n  in lane router %d port %d lane %d: %d/%d flits%s",
+				l.Router, l.Port, l.Lane, l.Flits, l.Depth, bound)
+		}
+	}
+	if n := s.LanesTotal - len(s.Lanes); n > 0 {
+		fmt.Fprintf(&b, "\n  ... and %d more non-idle lanes", n)
+	}
+	return b.String()
+}
