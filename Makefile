@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race bench bench-fabric profile experiments quick clean
+.PHONY: all build vet lint test race cover fuzz bench bench-fabric profile experiments quick clean
 
 all: build lint test
 
@@ -23,7 +23,21 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race -count=1 ./internal/... ./cmd/... .
+	$(GO) test -race -shuffle=on -count=1 ./internal/... ./cmd/... .
+
+# Per-package statement coverage with enforced floors on the fabric, the
+# routing algorithms and the differential oracle (85% by default); prints
+# the five worst packages. See DESIGN.md §10.
+cover:
+	sh scripts/cover.sh
+
+# Short local fuzz pass over the three fuzz targets (30s each); CI runs
+# the same budget on every push. Longer soaks: raise FUZZTIME.
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test ./internal/oracle -run '^$$' -fuzz FuzzFabricVsOracle -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/routing -run '^$$' -fuzz FuzzRouteCube -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/routing -run '^$$' -fuzz FuzzRouteTree -fuzztime $(FUZZTIME)
 
 # One benchmark per table, figure and ablation of the paper.
 bench:

@@ -52,6 +52,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "random seed")
 	csvDir := flag.String("csvdir", "", "write every series as CSV files into this directory")
 	manifestPath := flag.String("manifest", "", "append one JSONL run record per simulation to this file")
+	selfCheck := flag.Bool("selfcheck", false, "shadow every run with the reference oracle simulator in lockstep (slow; fails at the first divergent cycle)")
 	flag.Parse()
 
 	step := 0.05
@@ -101,7 +102,7 @@ func main() {
 	}
 	ctx, stop := resilience.SignalContext(context.Background())
 	defer stop()
-	opts := core.Options{Logger: obsFlags.Logger(), Context: ctx}
+	opts := core.Options{Logger: obsFlags.Logger(), Context: ctx, SelfCheck: *selfCheck}
 	if ckpt, err = resFlags.Open(); err != nil {
 		fatal(err)
 	}

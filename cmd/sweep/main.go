@@ -64,6 +64,7 @@ func main() {
 	flag.BoolVar(&quick, "quick", false, "coarse grid and short horizon for a fast preview")
 	flag.StringVar(&csvPath, "csv", "", "also write the series as CSV to this file")
 	showPlot := flag.Bool("plot", false, "render the two CNF graphs as ASCII charts")
+	selfCheck := flag.Bool("selfcheck", false, "shadow every run with the reference oracle simulator in lockstep (slow; fails at the first divergent cycle)")
 	flag.Parse()
 	cfg.Network = core.NetworkKind(network)
 	cfg.Algorithm = alg
@@ -90,7 +91,7 @@ func main() {
 	}
 	ctx, stop := resilience.SignalContext(context.Background())
 	defer stop()
-	opts := core.Options{Logger: obsFlags.Logger(), Context: ctx}
+	opts := core.Options{Logger: obsFlags.Logger(), Context: ctx, SelfCheck: *selfCheck}
 	ckpt, err := resFlags.Open()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)

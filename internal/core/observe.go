@@ -40,6 +40,10 @@ type Options struct {
 	// Index themselves.
 	Batch string
 	Index int
+	// SelfCheck shadows every run with the reference oracle simulator
+	// (internal/oracle) in lockstep and fails it at the first cycle whose
+	// state diverges — see Simulation.RunSelfChecked for the cost model.
+	SelfCheck bool
 }
 
 // observed reports whether any observer is attached.
@@ -94,8 +98,12 @@ func replayRun(cfg Config, rec obs.RunRecord, opts Options) (Result, error) {
 
 // RunWith executes the assembled experiment under the given observers.
 func (s *Simulation) RunWith(opts Options) (Result, error) {
+	run := s.Run
+	if opts.SelfCheck {
+		run = s.RunSelfChecked
+	}
 	if !opts.observed() {
-		return s.Run()
+		return run()
 	}
 	cfg := s.Config
 	logger := obs.RunLogger(opts.Logger, cfg.Fingerprint(), cfg.Label(), cfg.Pattern, cfg.Seed, cfg.Load)
@@ -106,7 +114,7 @@ func (s *Simulation) RunWith(opts Options) (Result, error) {
 		logger.Debug("run starting", "warmup", cfg.Warmup, "horizon", cfg.Horizon)
 	}
 	elapsed := obs.Stopwatch()
-	res, err := s.Run()
+	res, err := run()
 	wall := elapsed()
 	cycles := s.Engine.Cycle()
 	if err != nil {

@@ -128,6 +128,13 @@ func (s *Simulation) Run() (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	return s.finishResult(sample)
+}
+
+// finishResult converts a measured sample into the full Result with the
+// cost-model conversions to absolute units.
+func (s *Simulation) finishResult(sample metrics.Sample) (Result, error) {
+	cfg := s.Config
 	timing, err := cfg.Timing()
 	if err != nil {
 		return Result{}, err

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"testing"
+)
+
+// selfCheckCase builds a paper-sized (256-node) configuration with a
+// shortened window so the lockstep oracle comparison stays test-sized.
+func selfCheckCase(network NetworkKind, algorithm string, vcs int, load float64) Config {
+	return Config{
+		Network:   network,
+		Algorithm: algorithm,
+		VCs:       vcs,
+		Pattern:   PatternUniform,
+		Load:      load,
+		Seed:      21,
+		Warmup:    300,
+		Horizon:   1200,
+	}
+}
+
+// TestSelfCheck256 runs the oracle-shadowed mode on the paper's two
+// 256-node networks: every cycle's full state must match between the
+// optimized fabric and the reference simulator, and the measurement
+// windows must produce the identical Sample.
+func TestSelfCheck256(t *testing.T) {
+	if testing.Short() {
+		t.Skip("self-check lockstep on 256-node networks is a long test")
+	}
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"tree-256-adaptive-4vc", selfCheckCase(NetworkTree, AlgAdaptive, 4, 0.35)},
+		{"cube-256-duato", selfCheckCase(NetworkCube, AlgDuato, 4, 0.35)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := NewSimulation(tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := s.RunSelfChecked()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Sample.PacketsDelivered == 0 {
+				t.Fatal("self-checked run delivered no packets; the comparison is vacuous")
+			}
+			// The self-checked result must equal the plain run's: the
+			// shadow must observe, never perturb.
+			plain, err := NewSimulation(tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := plain.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Sample != ref.Sample {
+				t.Fatalf("self-checked sample %+v differs from plain run %+v", res.Sample, ref.Sample)
+			}
+		})
+	}
+}
+
+// TestSelfCheckOption routes the mode through the Options plumbing used
+// by the command-line flag.
+func TestSelfCheckOption(t *testing.T) {
+	cfg := selfCheckCase(NetworkCube, AlgDeterministic, 4, 0.20)
+	cfg.Horizon = 600
+	res, err := RunWith(cfg, Options{SelfCheck: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sample.PacketsDelivered == 0 {
+		t.Fatal("self-checked run delivered no packets")
+	}
+}

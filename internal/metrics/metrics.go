@@ -52,11 +52,23 @@ type Sample struct {
 	PacketsCreated   int64 `json:"packets_created"`
 }
 
-// Window measures a fabric over [warmup, horizon). Snapshot the counters
+// Source is the read side a measurement window consumes: running counter
+// totals, the node count, the packet length and the per-packet records.
+// Both the optimized wormhole.Fabric and the reference simulator in
+// internal/oracle implement it, so a differential run computes both
+// Samples through this one code path.
+type Source interface {
+	Counters() wormhole.Counters
+	Nodes() int
+	PacketFlits() int
+	PacketRecords() []wormhole.PacketInfo
+}
+
+// Window measures a network over [warmup, horizon). Snapshot the counters
 // with Start at the warm-up boundary, run the engine to the horizon, then
 // call Measure.
 type Window struct {
-	fabric         *wormhole.Fabric
+	fabric         Source
 	warmup         int64
 	startCounters  wormhole.Counters
 	started        bool
@@ -64,16 +76,16 @@ type Window struct {
 	flitsPerPacket float64
 }
 
-// NewWindow prepares a measurement over the fabric. capacityFlits is the
+// NewWindow prepares a measurement over the network. capacityFlits is the
 // per-node capacity bound in flits/cycle used for normalization.
-func NewWindow(f *wormhole.Fabric, capacityFlits float64) (*Window, error) {
+func NewWindow(f Source, capacityFlits float64) (*Window, error) {
 	if capacityFlits <= 0 {
 		return nil, fmt.Errorf("metrics: capacity must be positive, got %v", capacityFlits)
 	}
 	return &Window{
 		fabric:         f,
 		capacityFlits:  capacityFlits,
-		flitsPerPacket: float64(f.Cfg.PacketFlits),
+		flitsPerPacket: float64(f.PacketFlits()),
 	}, nil
 }
 
@@ -94,7 +106,7 @@ func (w *Window) Measure(end int64, offered float64) (Sample, error) {
 		return Sample{}, fmt.Errorf("metrics: empty window [%d, %d)", w.warmup, end)
 	}
 	cycles := float64(end - w.warmup)
-	nodes := float64(w.fabric.Top.Nodes())
+	nodes := float64(w.fabric.Nodes())
 	now := w.fabric.Counters()
 
 	s := Sample{Offered: offered}
@@ -106,8 +118,9 @@ func (w *Window) Measure(end int64, offered float64) (Sample, error) {
 
 	var latSum, headSum, hopSum float64
 	var lats []float64
-	for i := range w.fabric.Packets {
-		pk := &w.fabric.Packets[i]
+	packets := w.fabric.PacketRecords()
+	for i := range packets {
+		pk := &packets[i]
 		if pk.TailAt < w.warmup || pk.TailAt >= end || !pk.Delivered() {
 			continue
 		}

@@ -15,7 +15,7 @@ type plusAlg struct{ cube *topology.Cube }
 
 func (a plusAlg) Name() string { return "plus" }
 func (a plusAlg) VCs() int     { return 1 }
-func (a plusAlg) Route(f *wormhole.Fabric, r, ip, il int, pkt wormhole.PacketID) (int, int, bool) {
+func (a plusAlg) Route(f wormhole.Router, r, ip, il int, pkt wormhole.PacketID) (int, int, bool) {
 	port := topology.PortOf(0, topology.Plus)
 	if r == f.Dest(pkt) {
 		port = a.cube.NodePort()

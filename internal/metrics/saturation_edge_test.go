@@ -1,0 +1,59 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+// TestSaturationExactlyAtTolerance pins the boundary of the saturation
+// predicate: a deficit exactly equal to the tolerance is still stable
+// (the comparison is strict, deficit > tolerance saturates), and the
+// smallest representable step above it saturates. Every value is a
+// dyadic rational so "exactly equal" means bit-exact in float64 — the
+// boundary matters because sweeps quantize loads, and a sample sitting
+// on the tolerance must not flip between runs of the same data.
+func TestSaturationExactlyAtTolerance(t *testing.T) {
+	const tol = 0.25
+	atBoundary := Series{
+		{Offered: 0.25, Accepted: 0.25},
+		{Offered: 0.5, Accepted: 0.25}, // deficit == tolerance exactly
+		{Offered: 0.75, Accepted: 0.5},
+	}
+	if sat, ok := atBoundary.Saturation(tol); ok {
+		t.Fatalf("deficit == tolerance misread as saturation at %v", sat)
+	}
+
+	eps := math.Nextafter(tol, 1) - tol
+	justOver := Series{
+		{Offered: 0.25, Accepted: 0.25},
+		{Offered: 0.5, Accepted: 0.25 - eps},
+	}
+	sat, ok := justOver.Saturation(tol)
+	if !ok {
+		t.Fatal("deficit one ULP above tolerance not detected as saturation")
+	}
+	// The crossing interpolates inside (0.25, 0.5]; with a one-ULP
+	// overshoot it lands essentially at the saturated sample.
+	if sat <= 0.25 || sat > 0.5 {
+		t.Fatalf("interpolated saturation %v outside (0.25, 0.5]", sat)
+	}
+}
+
+// TestSaturationBoundaryUsesCreatedLoad repeats the boundary check
+// against the measured creation rate: with CreatedLoad recorded, the
+// nominal Offered column must not influence the predicate at all.
+func TestSaturationBoundaryUsesCreatedLoad(t *testing.T) {
+	const tol = 0.25
+	// Nominal deficit (Offered - Accepted) is huge, measured deficit is
+	// exactly the tolerance: stable.
+	s := Series{
+		{Offered: 1.0, CreatedLoad: 0.5, Accepted: 0.25},
+	}
+	if sat, ok := s.Saturation(tol); ok {
+		t.Fatalf("boundary deficit against CreatedLoad misread as saturation at %v", sat)
+	}
+	s[0].Accepted = 0.25 - (math.Nextafter(tol, 1) - tol)
+	if _, ok := s.Saturation(tol); !ok {
+		t.Fatal("deficit above tolerance against CreatedLoad missed")
+	}
+}

@@ -1,0 +1,60 @@
+package oracle
+
+import (
+	"testing"
+
+	"smart/internal/routing"
+	"smart/internal/traffic"
+	"smart/internal/wormhole"
+)
+
+// TestDifferentialOverSharedCases runs the differential harness over the
+// routing package's canonical topology x algorithm table: the same cases
+// the stress and mesh suites iterate. A routing discipline added to
+// routing.Cases is thereby automatically checked against the reference
+// simulator, cycle for cycle, without touching this package.
+func TestDifferentialOverSharedCases(t *testing.T) {
+	for _, tc := range routing.Cases() {
+		t.Run(tc.Name, func(t *testing.T) {
+			// Each side builds its own algorithm instance: the disciplines
+			// carry per-fabric arbitration state.
+			topA, algA, err := tc.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			topB, algB, err := tc.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := wormhole.Config{VCs: algA.VCs(), BufDepth: 4, PacketFlits: 4, InjLanes: 1}
+			fab, err := wormhole.NewFabric(topA, cfg, algA)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ora, err := New(topB, cfg, algB)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pattern, err := traffic.NewUniform(topA.Nodes())
+			if err != nil {
+				t.Fatal(err)
+			}
+			pair, err := NewPair(fab, ora, pattern, 0.08, 404)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := pair.Step(400); err != nil {
+				t.Fatal(err)
+			}
+			if err := pair.Drain(20000); err != nil {
+				t.Fatal(err)
+			}
+			if err := pair.ComparePackets(); err != nil {
+				t.Fatal(err)
+			}
+			if fab.Counters().PacketsDelivered == 0 {
+				t.Fatal("differential run delivered nothing; the comparison is vacuous")
+			}
+		})
+	}
+}

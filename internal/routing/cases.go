@@ -1,0 +1,83 @@
+package routing
+
+import (
+	"fmt"
+
+	"smart/internal/topology"
+	"smart/internal/wormhole"
+)
+
+// Case names one topology-family x routing-algorithm combination at a
+// concrete test size. The table returned by Cases is shared by the
+// in-package stress and mesh suites and by the differential-oracle
+// harness (internal/oracle), so an algorithm added to the table is
+// automatically exercised by every tier of the verification pyramid.
+type Case struct {
+	// Name labels subtests; it is unique within Cases.
+	Name string
+	// Family is "tree", "cube" or "mesh"; K and N size it (k-ary n-tree
+	// or k-ary n-cube).
+	Family string
+	K, N   int
+	// Algorithm is "adaptive" on the tree, "deterministic" or "duato" on
+	// the cube and mesh. VCs applies to the tree algorithm only; the cube
+	// disciplines fix their own virtual-channel count.
+	Algorithm string
+	VCs       int
+}
+
+// Build constructs fresh topology and algorithm instances for the case.
+// Algorithms carry per-fabric arbitration state (round-robin tie
+// rotations), so every simulator needs its own instance: differential
+// harnesses call Build once per side.
+func (c Case) Build() (topology.Topology, wormhole.RoutingAlgorithm, error) {
+	switch c.Family {
+	case "tree":
+		tr, err := topology.NewTree(c.K, c.N)
+		if err != nil {
+			return nil, nil, err
+		}
+		alg, err := NewTreeAdaptive(tr, c.VCs)
+		if err != nil {
+			return nil, nil, err
+		}
+		return tr, alg, nil
+	case "cube", "mesh":
+		var (
+			cu  *topology.Cube
+			err error
+		)
+		if c.Family == "mesh" {
+			cu, err = topology.NewMesh(c.K, c.N)
+		} else {
+			cu, err = topology.NewCube(c.K, c.N)
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		switch c.Algorithm {
+		case "deterministic":
+			return cu, NewDOR(cu), nil
+		case "duato":
+			return cu, NewDuato(cu), nil
+		default:
+			return nil, nil, fmt.Errorf("routing: unknown cube algorithm %q", c.Algorithm)
+		}
+	default:
+		return nil, nil, fmt.Errorf("routing: unknown topology family %q", c.Family)
+	}
+}
+
+// Cases returns the canonical table: every routing discipline over a
+// test-sized instance of each family it runs on, in a fixed order.
+func Cases() []Case {
+	return []Case{
+		{Name: "tree-adaptive-1vc", Family: "tree", K: 4, N: 2, Algorithm: "adaptive", VCs: 1},
+		{Name: "tree-adaptive-2vc", Family: "tree", K: 4, N: 2, Algorithm: "adaptive", VCs: 2},
+		{Name: "tree-adaptive-4vc", Family: "tree", K: 4, N: 2, Algorithm: "adaptive", VCs: 4},
+		{Name: "cube-deterministic", Family: "cube", K: 4, N: 2, Algorithm: "deterministic"},
+		{Name: "cube-duato", Family: "cube", K: 4, N: 2, Algorithm: "duato"},
+		{Name: "mesh-deterministic", Family: "mesh", K: 4, N: 2, Algorithm: "deterministic"},
+		{Name: "mesh-duato", Family: "mesh", K: 4, N: 2, Algorithm: "duato"},
+	}
+}

@@ -17,7 +17,7 @@ type noEscape struct{ *Duato }
 
 func (a *noEscape) Name() string { return "duato-no-escape" }
 
-func (a *noEscape) Route(f *wormhole.Fabric, r, inPort, inLane int, pkt wormhole.PacketID) (int, int, bool) {
+func (a *noEscape) Route(f wormhole.Router, r, inPort, inLane int, pkt wormhole.PacketID) (int, int, bool) {
 	port, lane, ok := a.Duato.Route(f, r, inPort, inLane, pkt)
 	if ok && port != a.cube.NodePort() && lane >= duatoEscapeBase {
 		return 0, 0, false

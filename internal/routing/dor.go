@@ -44,7 +44,7 @@ func (a *DOR) Name() string { return "deterministic" }
 func (a *DOR) VCs() int { return cubeVCs }
 
 // Route implements wormhole.RoutingAlgorithm.
-func (a *DOR) Route(f *wormhole.Fabric, r, inPort, inLane int, pkt wormhole.PacketID) (int, int, bool) {
+func (a *DOR) Route(f wormhole.Router, r, inPort, inLane int, pkt wormhole.PacketID) (int, int, bool) {
 	info := f.Packet(pkt)
 	dst := int(info.Dst)
 	if r == dst {

@@ -42,7 +42,7 @@ func (a *Duato) Name() string { return "duato" }
 func (a *Duato) VCs() int { return cubeVCs }
 
 // Route implements wormhole.RoutingAlgorithm.
-func (a *Duato) Route(f *wormhole.Fabric, r, inPort, inLane int, pkt wormhole.PacketID) (int, int, bool) {
+func (a *Duato) Route(f wormhole.Router, r, inPort, inLane int, pkt wormhole.PacketID) (int, int, bool) {
 	info := f.Packet(pkt)
 	dst := int(info.Dst)
 	if r == dst {

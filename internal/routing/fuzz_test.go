@@ -1,0 +1,137 @@
+package routing
+
+import (
+	"testing"
+
+	"smart/internal/topology"
+	"smart/internal/wormhole"
+)
+
+// freeRouter is a wormhole.Router with every output lane free and fully
+// credited: the contention-free view under which both cube disciplines
+// and the fat-tree algorithm must produce a minimal path with no stalls.
+// Fuzzing the walk over arbitrary (k, n, src, dst) explores the full
+// coordinate space of the routing functions without simulating a fabric.
+type freeRouter struct {
+	info wormhole.PacketInfo
+}
+
+func (f *freeRouter) Packet(wormhole.PacketID) *wormhole.PacketInfo { return &f.info }
+func (f *freeRouter) Dest(wormhole.PacketID) int                    { return int(f.info.Dst) }
+func (f *freeRouter) OutLaneFree(r, port, lane int) bool            { return true }
+func (f *freeRouter) OutLaneCredits(r, port, lane int) int          { return 4 }
+func (f *freeRouter) FreeLanes(r, port, lo, hi int) int             { return hi - lo }
+
+// walkFreeRoute drives one packet from src to dst through the routing
+// algorithm over an all-free network, asserting at every switch that the
+// decision succeeds, lands on a live port with a legal lane, and that the
+// walk terminates at the destination in exactly the minimal number of
+// routing decisions (Distance - 1: one per switch traversal including the
+// ejection decision).
+func walkFreeRoute(t *testing.T, top topology.Topology, alg wormhole.RoutingAlgorithm, src, dst int) {
+	t.Helper()
+	fr := &freeRouter{info: wormhole.PacketInfo{Src: int32(src), Dst: int32(dst)}}
+	at := top.NodeAttach(src)
+	cur, inPort, inLane := at.Router, at.Port, 0
+	minimal := top.Distance(src, dst) - 1
+	decisions := 0
+	for {
+		port, lane, ok := alg.Route(fr, cur, inPort, inLane, 0)
+		if !ok {
+			t.Fatalf("%s stalled at router %d on an all-free network (packet %d->%d)", alg.Name(), cur, src, dst)
+		}
+		if lane < 0 || lane >= alg.VCs() {
+			t.Fatalf("%s chose lane %d outside [0,%d) at router %d", alg.Name(), lane, alg.VCs(), cur)
+		}
+		ports := top.RouterPorts(cur)
+		if port < 0 || port >= len(ports) {
+			t.Fatalf("%s chose port %d outside the %d-port router %d", alg.Name(), port, len(ports), cur)
+		}
+		decisions++
+		if decisions > minimal {
+			t.Fatalf("%s exceeded the minimal %d decisions for %d->%d (at router %d)", alg.Name(), minimal, src, dst, cur)
+		}
+		switch p := ports[port]; p.Kind {
+		case topology.PortNode:
+			if p.Peer != dst {
+				t.Fatalf("%s ejected packet %d->%d at node %d", alg.Name(), src, dst, p.Peer)
+			}
+			if decisions != minimal {
+				t.Fatalf("%s delivered %d->%d in %d decisions, want minimal %d", alg.Name(), src, dst, decisions, minimal)
+			}
+			return
+		case topology.PortRouter:
+			cur, inPort, inLane = p.Peer, p.PeerPort, lane
+		default:
+			t.Fatalf("%s routed packet %d->%d into unused port %d of router %d", alg.Name(), src, dst, port, cur)
+		}
+	}
+}
+
+// FuzzRouteCube explores both cube disciplines over fuzzed radix,
+// dimension and endpoint coordinates, on the torus and on the mesh.
+func FuzzRouteCube(f *testing.F) {
+	f.Add(uint8(4), uint8(2), uint16(0), uint16(5), false, false)
+	f.Add(uint8(4), uint8(2), uint16(3), uint16(12), true, false)
+	f.Add(uint8(2), uint8(3), uint16(0), uint16(7), true, false)
+	f.Add(uint8(5), uint8(2), uint16(24), uint16(0), false, true)
+	f.Add(uint8(8), uint8(1), uint16(1), uint16(6), true, true)
+	f.Add(uint8(3), uint8(3), uint16(13), uint16(26), false, false)
+	f.Fuzz(func(t *testing.T, kb, nb uint8, srcw, dstw uint16, duato, mesh bool) {
+		k := 2 + int(kb)%7
+		n := 1 + int(nb)%3
+		var (
+			cube *topology.Cube
+			err  error
+		)
+		if mesh {
+			cube, err = topology.NewMesh(k, n)
+		} else {
+			cube, err = topology.NewCube(k, n)
+		}
+		if err != nil {
+			t.Skip()
+		}
+		src := int(srcw) % cube.Nodes()
+		dst := int(dstw) % cube.Nodes()
+		if src == dst {
+			t.Skip()
+		}
+		var alg wormhole.RoutingAlgorithm
+		if duato {
+			alg = NewDuato(cube)
+		} else {
+			alg = NewDOR(cube)
+		}
+		walkFreeRoute(t, cube, alg, src, dst)
+	})
+}
+
+// FuzzRouteTree explores the fat-tree adaptive algorithm over fuzzed
+// arity, depth, virtual-channel count and endpoint pairs.
+func FuzzRouteTree(f *testing.F) {
+	f.Add(uint8(4), uint8(2), uint16(0), uint16(15), uint8(2))
+	f.Add(uint8(2), uint8(3), uint16(1), uint16(6), uint8(1))
+	f.Add(uint8(2), uint8(2), uint16(63), uint16(0), uint8(4))
+	f.Add(uint8(3), uint8(2), uint16(4), uint16(5), uint8(3))
+	f.Add(uint8(2), uint8(1), uint16(0), uint16(1), uint8(1))
+	f.Fuzz(func(t *testing.T, kb, nb uint8, srcw, dstw uint16, vb uint8) {
+		k := 2 + int(kb)%3
+		n := 1 + int(nb)%3
+		vcs := 1 + int(vb)%4
+		tree, err := topology.NewTree(k, n)
+		if err != nil {
+			t.Skip()
+		}
+		alg, err := NewTreeAdaptive(tree, vcs)
+		if err != nil {
+			t.Skip()
+		}
+		src := int(srcw) % tree.Nodes()
+		dst := int(dstw) % tree.Nodes()
+		if src == dst {
+			t.Skip()
+		}
+		walkFreeRoute(t, tree, alg, src, dst)
+	})
+}

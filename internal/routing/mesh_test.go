@@ -5,35 +5,34 @@ import (
 
 	"smart/internal/topology"
 	"smart/internal/traffic"
-	"smart/internal/wormhole"
 )
 
-// TestMeshRoutingMinimalAndDeadlockFree runs both cube disciplines on the
-// mesh (the wrap-free grid): paths must remain minimal and the network
-// must drain under heavy load.
+// TestMeshRoutingMinimalAndDeadlockFree runs the mesh entries of the
+// shared case table (the wrap-free grid under both cube disciplines):
+// paths must remain minimal and the network must drain under heavy load.
 func TestMeshRoutingMinimalAndDeadlockFree(t *testing.T) {
-	for _, algName := range []string{"deterministic", "duato"} {
-		mesh, err := topology.NewMesh(4, 2)
-		if err != nil {
-			t.Fatal(err)
+	for _, tc := range Cases() {
+		if tc.Family != "mesh" {
+			continue
 		}
-		var alg wormhole.RoutingAlgorithm
-		if algName == "deterministic" {
-			alg = NewDOR(mesh)
-		} else {
-			alg = NewDuato(mesh)
-		}
-		pattern, _ := traffic.NewUniform(mesh.Nodes())
-		f, inj, e, _ := buildSim(t, mesh, alg, pattern, 0.1, 8)
-		e.Run(3000)
-		drainOrFail(t, f, inj, e, 100000)
-		for i := range f.Packets {
-			pk := &f.Packets[i]
-			if int(pk.Hops) != mesh.Distance(int(pk.Src), int(pk.Dst))-1 {
-				t.Fatalf("%s on mesh: packet %d hops %d, want minimal %d",
-					algName, i, pk.Hops, mesh.Distance(int(pk.Src), int(pk.Dst))-1)
+		t.Run(tc.Name, func(t *testing.T) {
+			top, alg, err := tc.Build()
+			if err != nil {
+				t.Fatal(err)
 			}
-		}
+			mesh := top.(*topology.Cube)
+			pattern, _ := traffic.NewUniform(mesh.Nodes())
+			f, inj, e, _ := buildSim(t, mesh, alg, pattern, 0.1, 8)
+			e.Run(3000)
+			drainOrFail(t, f, inj, e, 100000)
+			for i := range f.Packets {
+				pk := &f.Packets[i]
+				if int(pk.Hops) != mesh.Distance(int(pk.Src), int(pk.Dst))-1 {
+					t.Fatalf("packet %d hops %d, want minimal %d",
+						i, pk.Hops, mesh.Distance(int(pk.Src), int(pk.Dst))-1)
+				}
+			}
+		})
 	}
 }
 

@@ -168,31 +168,43 @@ func TestTreeAdaptiveHopsMatchDistance(t *testing.T) {
 	}
 }
 
-// TestTreeAdaptiveDeadlockFree drives every paper pattern far beyond
-// saturation on every VC variant and requires the network to stay live
-// (watchdog armed) and drain completely afterwards.
-func TestTreeAdaptiveDeadlockFree(t *testing.T) {
-	patterns := map[string]func(n int) (traffic.Pattern, error){
-		"uniform":    func(n int) (traffic.Pattern, error) { return traffic.NewUniform(n) },
-		"complement": func(n int) (traffic.Pattern, error) { return traffic.NewComplement(n) },
-		"transpose":  func(n int) (traffic.Pattern, error) { return traffic.NewTranspose(n) },
-		"bitrev":     func(n int) (traffic.Pattern, error) { return traffic.NewBitReversal(n) },
-	}
-	for name, mk := range patterns {
-		for _, vcs := range []int{1, 2, 4} {
-			tree, _ := topology.NewTree(4, 2)
-			alg, _ := NewTreeAdaptive(tree, vcs)
-			pattern, err := mk(tree.Nodes())
-			if err != nil {
-				t.Fatal(err)
-			}
-			// 0.15 packets/node/cycle of 8-flit packets: >> capacity.
-			f, inj, e, _ := buildSim(t, tree, alg, pattern, 0.15, 8)
-			e.Run(3000)
-			drainOrFail(t, f, inj, e, 100000)
-			if f.Counters().PacketsDelivered == 0 {
-				t.Fatalf("%s/%dvc delivered nothing", name, vcs)
-			}
+// testPatterns is the paper's benchmark set, shared by the table-driven
+// overload tests below.
+var testPatterns = []struct {
+	name string
+	mk   func(n int) (traffic.Pattern, error)
+}{
+	{"uniform", func(n int) (traffic.Pattern, error) { return traffic.NewUniform(n) }},
+	{"complement", func(n int) (traffic.Pattern, error) { return traffic.NewComplement(n) }},
+	{"transpose", func(n int) (traffic.Pattern, error) { return traffic.NewTranspose(n) }},
+	{"bitrev", func(n int) (traffic.Pattern, error) { return traffic.NewBitReversal(n) }},
+}
+
+// TestDeadlockFreeUnderOverload drives every case of the shared
+// topology x algorithm table (Cases) with every paper pattern far beyond
+// saturation — 0.15 packets/node/cycle of 8-flit packets — and requires
+// the network to stay live (watchdog armed) and drain completely
+// afterwards. This is the consolidated deadlock-freedom net for the tree
+// VC variants, both cube disciplines and both mesh disciplines.
+func TestDeadlockFreeUnderOverload(t *testing.T) {
+	for _, tc := range Cases() {
+		for _, p := range testPatterns {
+			t.Run(tc.Name+"/"+p.name, func(t *testing.T) {
+				top, alg, err := tc.Build()
+				if err != nil {
+					t.Fatal(err)
+				}
+				pattern, err := p.mk(top.Nodes())
+				if err != nil {
+					t.Fatal(err)
+				}
+				f, inj, e, _ := buildSim(t, top, alg, pattern, 0.15, 8)
+				e.Run(3000)
+				drainOrFail(t, f, inj, e, 100000)
+				if f.Counters().PacketsDelivered == 0 {
+					t.Fatal("delivered nothing under overload")
+				}
+			})
 		}
 	}
 }
@@ -271,28 +283,6 @@ func TestDORPathProperties(t *testing.T) {
 	}
 	if checked < 50 {
 		t.Fatalf("only %d packets checked", checked)
-	}
-}
-
-func TestDORDeadlockFreeUnderOverload(t *testing.T) {
-	for _, mk := range []func(n int) (traffic.Pattern, error){
-		func(n int) (traffic.Pattern, error) { return traffic.NewUniform(n) },
-		func(n int) (traffic.Pattern, error) { return traffic.NewComplement(n) },
-		func(n int) (traffic.Pattern, error) { return traffic.NewTranspose(n) },
-		func(n int) (traffic.Pattern, error) { return traffic.NewBitReversal(n) },
-	} {
-		cube, _ := topology.NewCube(4, 2)
-		alg := NewDOR(cube)
-		pattern, err := mk(cube.Nodes())
-		if err != nil {
-			t.Fatal(err)
-		}
-		f, inj, e, _ := buildSim(t, cube, alg, pattern, 0.15, 8)
-		e.Run(3000)
-		drainOrFail(t, f, inj, e, 100000)
-		if f.Counters().PacketsDelivered == 0 {
-			t.Fatalf("%s delivered nothing", pattern.Name())
-		}
 	}
 }
 
@@ -404,28 +394,6 @@ func TestDuatoUsesEscapesAndReentersAdaptive(t *testing.T) {
 	}
 	if reentries == 0 {
 		t.Fatal("no packet re-entered the adaptive channels after an escape (non-monotonicity unexercised)")
-	}
-}
-
-func TestDuatoDeadlockFreeUnderOverload(t *testing.T) {
-	for _, mk := range []func(n int) (traffic.Pattern, error){
-		func(n int) (traffic.Pattern, error) { return traffic.NewUniform(n) },
-		func(n int) (traffic.Pattern, error) { return traffic.NewComplement(n) },
-		func(n int) (traffic.Pattern, error) { return traffic.NewTranspose(n) },
-		func(n int) (traffic.Pattern, error) { return traffic.NewBitReversal(n) },
-	} {
-		cube, _ := topology.NewCube(4, 2)
-		alg := NewDuato(cube)
-		pattern, err := mk(cube.Nodes())
-		if err != nil {
-			t.Fatal(err)
-		}
-		f, inj, e, _ := buildSim(t, cube, alg, pattern, 0.15, 8)
-		e.Run(3000)
-		drainOrFail(t, f, inj, e, 100000)
-		if f.Counters().PacketsDelivered == 0 {
-			t.Fatalf("%s delivered nothing", pattern.Name())
-		}
 	}
 }
 

@@ -14,34 +14,12 @@ import (
 // (credit conservation, binding reciprocity) every cycle — the deepest
 // correctness net in the suite.
 func TestInvariantsUnderAllAlgorithms(t *testing.T) {
-	type build func() (topology.Topology, wormhole.RoutingAlgorithm)
-	builds := map[string]build{
-		"tree-1vc": func() (topology.Topology, wormhole.RoutingAlgorithm) {
-			tr, _ := topology.NewTree(4, 2)
-			a, _ := NewTreeAdaptive(tr, 1)
-			return tr, a
-		},
-		"tree-4vc": func() (topology.Topology, wormhole.RoutingAlgorithm) {
-			tr, _ := topology.NewTree(4, 2)
-			a, _ := NewTreeAdaptive(tr, 4)
-			return tr, a
-		},
-		"cube-dor": func() (topology.Topology, wormhole.RoutingAlgorithm) {
-			c, _ := topology.NewCube(4, 2)
-			return c, NewDOR(c)
-		},
-		"cube-duato": func() (topology.Topology, wormhole.RoutingAlgorithm) {
-			c, _ := topology.NewCube(4, 2)
-			return c, NewDuato(c)
-		},
-		"mesh-duato": func() (topology.Topology, wormhole.RoutingAlgorithm) {
-			c, _ := topology.NewMesh(4, 2)
-			return c, NewDuato(c)
-		},
-	}
-	for name, mk := range builds {
-		t.Run(name, func(t *testing.T) {
-			top, alg := mk()
+	for _, tc := range Cases() {
+		t.Run(tc.Name, func(t *testing.T) {
+			top, alg, err := tc.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
 			f, err := wormhole.NewFabric(top, wormhole.Config{
 				VCs: alg.VCs(), BufDepth: 4, PacketFlits: 8, InjLanes: 1, WatchdogCycles: 20000,
 			}, alg)

@@ -92,7 +92,7 @@ func (a *TreeAdaptive) Name() string {
 func (a *TreeAdaptive) VCs() int { return a.vcs }
 
 // Route implements wormhole.RoutingAlgorithm.
-func (a *TreeAdaptive) Route(f *wormhole.Fabric, r, inPort, inLane int, pkt wormhole.PacketID) (int, int, bool) {
+func (a *TreeAdaptive) Route(f wormhole.Router, r, inPort, inLane int, pkt wormhole.PacketID) (int, int, bool) {
 	info := f.Packet(pkt)
 	dst := int(info.Dst)
 	level := a.tree.SwitchLevel(r)
@@ -146,7 +146,7 @@ func (a *TreeAdaptive) Route(f *wormhole.Fabric, r, inPort, inLane int, pkt worm
 // bestLane picks the free lane of (r, port) within [lo, hi) with the most
 // credits, preferring lower indices on ties. It reports false when no lane
 // is free.
-func bestLane(f *wormhole.Fabric, r, port, lo, hi int) (int, bool) {
+func bestLane(f wormhole.Router, r, port, lo, hi int) (int, bool) {
 	best, bestCredits := -1, -1
 	for l := lo; l < hi; l++ {
 		if !f.OutLaneFree(r, port, l) {

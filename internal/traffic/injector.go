@@ -14,7 +14,7 @@ import (
 // the source; the paper measures offered versus accepted bandwidth, so
 // the queue is unbounded and generation never throttles.
 type Injector struct {
-	fabric  *wormhole.Fabric
+	fabric  Network
 	pattern Pattern
 	// prob is the per-node, per-cycle packet creation probability.
 	prob float64
@@ -27,15 +27,24 @@ type Injector struct {
 	skipped int64
 }
 
-// NewInjector builds an injection process over the fabric's nodes. The
+// Network is the surface the injection process drives: the node count and
+// the packet intake. Both the optimized wormhole.Fabric and the reference
+// simulator in internal/oracle implement it, so a differential run feeds
+// both sides the exact same Bernoulli draw and destination sequence.
+type Network interface {
+	Nodes() int
+	EnqueuePacket(src, dst int, cycle int64) wormhole.PacketID
+}
+
+// NewInjector builds an injection process over the network's nodes. The
 // rate is given in packets per node per cycle; every node gets an
 // independent RNG stream derived from seed, so results are reproducible
 // and insensitive to iteration order.
-func NewInjector(f *wormhole.Fabric, p Pattern, packetRate float64, seed uint64) (*Injector, error) {
+func NewInjector(f Network, p Pattern, packetRate float64, seed uint64) (*Injector, error) {
 	if packetRate < 0 || packetRate > 1 {
 		return nil, fmt.Errorf("traffic: packet rate %v outside [0,1] packets/cycle", packetRate)
 	}
-	nodes := f.Top.Nodes()
+	nodes := f.Nodes()
 	inj := &Injector{fabric: f, pattern: p, prob: packetRate, enabled: true}
 	inj.rngs = make([]*sim.RNG, nodes)
 	sm := sim.NewSplitMix64(seed)

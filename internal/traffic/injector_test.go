@@ -15,7 +15,7 @@ type sinkAlg struct{ cube *topology.Cube }
 
 func (s sinkAlg) Name() string { return "sink" }
 func (s sinkAlg) VCs() int     { return 1 }
-func (s sinkAlg) Route(f *wormhole.Fabric, r, ip, il int, pkt wormhole.PacketID) (int, int, bool) {
+func (s sinkAlg) Route(f wormhole.Router, r, ip, il int, pkt wormhole.PacketID) (int, int, bool) {
 	if r == f.Dest(pkt) {
 		if f.OutLaneFree(r, s.cube.NodePort(), 0) {
 			return s.cube.NodePort(), 0, true

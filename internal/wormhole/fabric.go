@@ -378,8 +378,21 @@ func (f *Fabric) Register(e *sim.Engine) {
 	}
 }
 
+// The fabric is the routing algorithms' canonical state view.
+var _ Router = (*Fabric)(nil)
+
 // Counters returns a snapshot of the running totals.
 func (f *Fabric) Counters() Counters { return f.counters }
+
+// Nodes returns the number of processing nodes attached to the fabric.
+func (f *Fabric) Nodes() int { return f.Top.Nodes() }
+
+// PacketFlits returns the configured packet length in flits.
+func (f *Fabric) PacketFlits() int { return f.Cfg.PacketFlits }
+
+// PacketRecords returns the full packet table; measurement layers walk it
+// for per-packet latency. The returned slice is the fabric's own.
+func (f *Fabric) PacketRecords() []PacketInfo { return f.Packets }
 
 // InFlight returns the number of flits currently inside the network
 // (injected but not delivered).

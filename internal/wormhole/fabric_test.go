@@ -23,7 +23,7 @@ type greedyRing struct {
 func (g *greedyRing) Name() string { return "greedy-ring" }
 func (g *greedyRing) VCs() int     { return g.vcs }
 
-func (g *greedyRing) Route(f *Fabric, r, inPort, inLane int, pkt PacketID) (int, int, bool) {
+func (g *greedyRing) Route(f Router, r, inPort, inLane int, pkt PacketID) (int, int, bool) {
 	if !g.noEject && r == f.Dest(pkt) {
 		for l := 0; l < g.vcs; l++ {
 			if f.OutLaneFree(r, g.cube.NodePort(), l) {

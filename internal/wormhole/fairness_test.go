@@ -16,7 +16,7 @@ type twoLaneRing struct {
 func (g *twoLaneRing) Name() string { return "two-lane-ring" }
 func (g *twoLaneRing) VCs() int     { return 2 }
 
-func (g *twoLaneRing) Route(f *Fabric, r, inPort, inLane int, pkt PacketID) (int, int, bool) {
+func (g *twoLaneRing) Route(f Router, r, inPort, inLane int, pkt PacketID) (int, int, bool) {
 	lane := int(pkt) % 2
 	if r == f.Dest(pkt) {
 		if f.OutLaneFree(r, g.cube.NodePort(), lane) {

@@ -1,5 +1,29 @@
 package wormhole
 
+// Router is the view of switch state a routing algorithm consults when
+// binding a header: the packet table and the occupancy/credit state of
+// the candidate output lanes. Both the optimized Fabric and the naive
+// reference simulator in internal/oracle implement it, so one routing
+// implementation drives both sides of the differential harness.
+type Router interface {
+	// Packet returns the record of packet id; algorithms may mutate its
+	// RouteBits scratch state.
+	Packet(id PacketID) *PacketInfo
+	// Dest returns the destination node of packet id.
+	Dest(id PacketID) int
+	// OutLaneFree reports whether output lane (port, lane) of router r
+	// can accept a new packet: neither full nor bound to another input
+	// lane (§4).
+	OutLaneFree(r, port, lane int) bool
+	// OutLaneCredits returns the credit count of output lane (port, lane)
+	// of router r — the known free space in the downstream input lane.
+	OutLaneCredits(r, port, lane int) int
+	// FreeLanes counts the free output lanes of (r, port) within lane
+	// index range [lo, hi): the "number of free virtual channels" the
+	// fat-tree algorithm uses to pick the least-loaded link (§2).
+	FreeLanes(r, port, lo, hi int) int
+}
+
 // RoutingAlgorithm decides, for a header flit that has reached the front
 // of an input lane, which output lane of the switch it should be bound to.
 // Implementations live in internal/routing: the fat-tree minimal adaptive
@@ -19,9 +43,9 @@ type RoutingAlgorithm interface {
 	// network contention" case when even the escape lane is busy).
 	//
 	// Route may record per-packet state in the packet's RouteBits (e.g.
-	// wrap-around crossings) — the fabric guarantees Route is called for
+	// wrap-around crossings) — the caller guarantees Route is called for
 	// each switch traversal exactly once with ok == true.
-	Route(f *Fabric, r, inPort, inLane int, pkt PacketID) (port, lane int, ok bool)
+	Route(rt Router, r, inPort, inLane int, pkt PacketID) (port, lane int, ok bool)
 	// VCs returns the number of virtual channels per physical link the
 	// algorithm requires.
 	VCs() int
