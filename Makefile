@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race cover fuzz bench bench-fabric profile experiments quick clean
+.PHONY: all build vet lint test race cover fuzz bench bench-fabric telemetry-smoke profile experiments quick clean
 
 all: build lint test
 
@@ -49,6 +49,11 @@ bench:
 LABEL ?= local
 bench-fabric:
 	$(GO) run ./cmd/benchfabric -label $(LABEL) -o BENCH_fabric.json -append
+
+# End-to-end telemetry check: live /metrics scrape mid-sweep, sidecar
+# validation, and the kill-and-resume digest contract. See DESIGN.md §11.
+telemetry-smoke:
+	sh scripts/telemetry_smoke.sh
 
 # A short instrumented sweep: CPU profile in cpu.prof plus the live
 # progress line and per-stage engine timing report on stderr.

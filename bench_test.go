@@ -17,7 +17,9 @@ import (
 	"testing"
 
 	"smart"
+	"smart/internal/core"
 	"smart/internal/cost"
+	"smart/internal/telemetry"
 )
 
 // benchRun executes one full-size simulation and reports its headline
@@ -56,6 +58,34 @@ func BenchmarkUniform(b *testing.B) {
 		Pattern:   smart.PatternUniform,
 		Load:      0.5,
 	})
+}
+
+// BenchmarkUniformTelemetry is the enabled-path twin of
+// BenchmarkUniform: the same run with the flight-recorder sampler
+// attached at its default cadence (every 100 cycles, no HTTP server, no
+// sidecar I/O). Compare ns/op against BenchmarkUniform for the
+// telemetry overhead; the disabled path is guarded structurally by
+// TestTelemetryDisabledAddsNoStage in internal/core.
+func BenchmarkUniformTelemetry(b *testing.B) {
+	cfg := core.Config{
+		Network:   core.NetworkTree,
+		Algorithm: core.AlgAdaptive,
+		VCs:       2,
+		Pattern:   core.PatternUniform,
+		Load:      0.5,
+	}
+	cfg.Warmup, cfg.Horizon = 500, 3000
+	cfg.Seed = 1
+	var last core.Result
+	for i := 0; i < b.N; i++ {
+		res, err := core.RunWith(cfg, core.Options{Telemetry: &telemetry.Options{}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.Sample.Accepted, "accepted/cap")
+	b.ReportMetric(last.Sample.AvgLatency, "latency-cycles")
 }
 
 // BenchmarkTable1 regenerates the cube router delays of Table 1.

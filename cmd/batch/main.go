@@ -16,6 +16,11 @@
 // and partial manifest, -resume skips journaled configs on the next
 // invocation, and -watchdog aborts deadlocked configs with a stall
 // diagnosis (configs that set WatchdogCycles keep their own budget).
+//
+// Telemetry (internal/telemetry): -metrics-addr serves live fabric
+// state over HTTP while the study runs; -timeseries journals each
+// config's sampled time series and congestion events to a JSONL
+// sidecar; -sample-every sets the cadence.
 package main
 
 import (
@@ -30,11 +35,13 @@ import (
 	"smart/internal/obs"
 	"smart/internal/resilience"
 	"smart/internal/results"
+	"smart/internal/telemetry"
 )
 
 func main() {
 	obsFlags := obs.AddFlags(flag.CommandLine)
 	resFlags := resilience.AddFlags(flag.CommandLine)
+	telFlags := telemetry.AddFlags(flag.CommandLine)
 	configPath := flag.String("config", "", "path to the JSON batch description")
 	csvPath := flag.String("csv", "", "also write results as CSV")
 	manifestPath := flag.String("manifest", "", "append one JSONL run record per configuration to this file")
@@ -105,6 +112,24 @@ func main() {
 		opts.Profiler = profiler
 		opts.Progress = progress
 	}
+	tel, telAddr, telStop, err := telFlags.Open(resFlags.Resume)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "batch:", err)
+		os.Exit(1)
+	}
+	if tel != nil {
+		if tel.Server != nil {
+			// Grid progress is served even without -v: an unstarted
+			// Progress never prints but still snapshots.
+			if progress == nil {
+				progress = obs.NewProgress(os.Stderr, len(b.Configs), 2*time.Second)
+				opts.Progress = progress
+			}
+			tel.Server.SetProgress(progress)
+			fmt.Fprintf(os.Stderr, "batch: serving telemetry on http://%s/metrics\n", telAddr)
+		}
+		opts.Telemetry = tel
+	}
 	if *manifestPath != "" {
 		mf, err := os.Create(*manifestPath)
 		if err != nil {
@@ -121,6 +146,9 @@ func main() {
 		if cerr := ckpt.Close(); cerr != nil && err == nil {
 			err = cerr
 		}
+	}
+	if terr := telStop(); terr != nil && err == nil {
+		err = terr
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "batch:", err)
@@ -161,6 +189,9 @@ func main() {
 	}
 	if *manifestPath != "" {
 		fmt.Printf("\nrun manifest written to %s\n", *manifestPath)
+	}
+	if telFlags.SidecarPath != "" {
+		fmt.Printf("\ntime series written to %s\n", telFlags.SidecarPath)
 	}
 
 	if profiler != nil {

@@ -27,6 +27,7 @@ import (
 	"smart/internal/obs"
 	"smart/internal/resilience"
 	"smart/internal/results"
+	"smart/internal/telemetry"
 )
 
 // ckpt is the completed-run journal (-checkpoint); fatal reports it so
@@ -47,6 +48,7 @@ var patterns = []string{"uniform", "complement", "transpose", "bitrev"}
 func main() {
 	obsFlags := obs.AddFlags(flag.CommandLine)
 	resFlags := resilience.AddFlags(flag.CommandLine)
+	telFlags := telemetry.AddFlags(flag.CommandLine)
 	quick := flag.Bool("quick", false, "coarse grid and short horizon (preview quality)")
 	ablate := flag.Bool("ablations", false, "also run the extension/ablation studies")
 	seed := flag.Uint64("seed", 1, "random seed")
@@ -120,6 +122,23 @@ func main() {
 		progress.Start()
 		opts.Profiler = profiler
 		opts.Progress = progress
+	}
+	tel, telAddr, telStop, err := telFlags.Open(resFlags.Resume)
+	if err != nil {
+		fatal(err)
+	}
+	if tel != nil {
+		if tel.Server != nil {
+			// Grid progress is served even without -v: an unstarted
+			// Progress never prints but still snapshots.
+			if progress == nil {
+				progress = obs.NewProgress(os.Stderr, len(patterns)*len(configs)*len(loads), 5*time.Second)
+				opts.Progress = progress
+			}
+			tel.Server.SetProgress(progress)
+			fmt.Fprintf(os.Stderr, "experiments: serving telemetry on http://%s/metrics\n", telAddr)
+		}
+		opts.Telemetry = tel
 	}
 	if *manifestPath != "" {
 		mf, err := os.Create(*manifestPath)
@@ -244,6 +263,9 @@ func main() {
 		if err := ckpt.Close(); err != nil {
 			fatal(err)
 		}
+	}
+	if err := telStop(); err != nil {
+		fatal(err)
 	}
 	if err := stopProf(); err != nil {
 		fatal(err)

@@ -17,6 +17,7 @@ import (
 	"smart/internal/chanstats"
 	"smart/internal/core"
 	"smart/internal/obs"
+	"smart/internal/telemetry"
 	"smart/internal/topology"
 )
 
@@ -24,6 +25,7 @@ func main() {
 	var cfg core.Config
 	var network, alg string
 	obsFlags := obs.AddFlags(flag.CommandLine)
+	telFlags := telemetry.AddFlags(flag.CommandLine)
 	flag.StringVar(&network, "net", "tree", "network family: tree or cube")
 	flag.IntVar(&cfg.K, "k", 0, "radix (default: 4 for the tree, 16 for the cube)")
 	flag.IntVar(&cfg.N, "n", 0, "dimension/levels (default: 4 for the tree, 2 for the cube)")
@@ -56,12 +58,26 @@ func main() {
 		profiler = obs.NewStageProfiler()
 		opts.Profiler = profiler
 	}
+	tel, telAddr, telStop, err := telFlags.Open(false)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "netsim:", err)
+		os.Exit(1)
+	}
+	if tel != nil {
+		if tel.Server != nil {
+			fmt.Fprintf(os.Stderr, "netsim: serving telemetry on http://%s/metrics\n", telAddr)
+		}
+		opts.Telemetry = tel
+	}
 	sm, err := core.NewSimulation(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "netsim:", err)
 		os.Exit(1)
 	}
 	res, err := sm.RunWith(opts)
+	if terr := telStop(); terr != nil && err == nil {
+		err = terr
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "netsim:", err)
 		os.Exit(1)

@@ -26,6 +26,14 @@
 //
 //	sweep -net cube -alg duato -checkpoint sweep.ckpt            # interruptible
 //	sweep -net cube -alg duato -checkpoint sweep.ckpt -resume    # pick up where it left off
+//
+// Telemetry (internal/telemetry): -metrics-addr serves live fabric
+// state over HTTP while the sweep runs (/metrics in Prometheus text,
+// /telemetry.json as JSON); -timeseries journals each run's sampled
+// time series and congestion events to a JSONL sidecar next to the
+// manifest; -sample-every sets the cadence.
+//
+//	sweep -net tree -vcs 2 -metrics-addr :9090 -timeseries series.jsonl
 package main
 
 import (
@@ -41,6 +49,7 @@ import (
 	"smart/internal/plot"
 	"smart/internal/resilience"
 	"smart/internal/results"
+	"smart/internal/telemetry"
 )
 
 func main() {
@@ -50,6 +59,7 @@ func main() {
 	var quick bool
 	obsFlags := obs.AddFlags(flag.CommandLine)
 	resFlags := resilience.AddFlags(flag.CommandLine)
+	telFlags := telemetry.AddFlags(flag.CommandLine)
 	flag.StringVar(&manifestPath, "manifest", "", "append one JSONL run record per load point to this file")
 	flag.StringVar(&network, "net", "tree", "network family: tree or cube")
 	flag.IntVar(&cfg.K, "k", 0, "radix")
@@ -112,6 +122,24 @@ func main() {
 		opts.Profiler = profiler
 		opts.Progress = progress
 	}
+	tel, telAddr, telStop, err := telFlags.Open(resFlags.Resume)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+	if tel != nil {
+		if tel.Server != nil {
+			// Grid progress is served even without -v: an unstarted
+			// Progress never prints but still snapshots.
+			if progress == nil {
+				progress = obs.NewProgress(os.Stderr, len(loads), 2*time.Second)
+				opts.Progress = progress
+			}
+			tel.Server.SetProgress(progress)
+			fmt.Fprintf(os.Stderr, "sweep: serving telemetry on http://%s/metrics\n", telAddr)
+		}
+		opts.Telemetry = tel
+	}
 	if manifestPath != "" {
 		mf, err := os.Create(manifestPath)
 		if err != nil {
@@ -128,6 +156,9 @@ func main() {
 		if cerr := ckpt.Close(); cerr != nil && err == nil {
 			err = cerr
 		}
+	}
+	if terr := telStop(); terr != nil && err == nil {
+		err = terr
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
@@ -197,6 +228,9 @@ func main() {
 	}
 	if manifestPath != "" {
 		fmt.Printf("run manifest written to %s\n", manifestPath)
+	}
+	if telFlags.SidecarPath != "" {
+		fmt.Printf("time series written to %s\n", telFlags.SidecarPath)
 	}
 
 	if profiler != nil {

@@ -6,6 +6,11 @@
 //
 //	trace -net tree -vcs 2 -pattern transpose -load 0.5 -packets 3
 //	trace -net cube -alg duato -pattern complement -load 0.7 -packets 5
+//	trace -net tree -packets 10 -json > timelines.jsonl
+//
+// -json swaps the listing for machine-readable JSONL, one
+// smart/trace/v1 record per packet, for joining against the telemetry
+// sidecar or ad-hoc analysis.
 package main
 
 import (
@@ -21,6 +26,7 @@ func main() {
 	var cfg core.Config
 	var network, alg string
 	packets := flag.Int("packets", 3, "number of packets to trace (the first ids)")
+	asJSON := flag.Bool("json", false, "emit JSONL timeline records instead of the listing")
 	flag.StringVar(&network, "net", "tree", "network family: tree, cube or mesh")
 	flag.IntVar(&cfg.K, "k", 0, "radix")
 	flag.IntVar(&cfg.N, "n", 0, "dimension/levels")
@@ -48,6 +54,13 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "trace:", err)
 		os.Exit(1)
+	}
+	if *asJSON {
+		if err := rec.WriteJSON(os.Stdout, sm.Fabric, namer); err != nil {
+			fmt.Fprintln(os.Stderr, "trace:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	fmt.Printf("%s, %s traffic at %.0f%% load — first %d packets\n\n",
 		sm.Config.Label(), sm.Config.Pattern, 100*sm.Config.Load, *packets)

@@ -33,34 +33,16 @@ func TreeLevels(f *wormhole.Fabric, t *topology.Tree, cycles int64) ([]LevelStat
 	if f.Top != topology.Topology(t) {
 		return nil, fmt.Errorf("chanstats: fabric is not built on the given tree")
 	}
+	classes := treeClasses(t)
+	flits := make([]int64, classes.Len())
+	classes.Accumulate(f.LinkFlits, flits)
 	stats := make([]LevelStats, t.N)
-	upLinks := make([]int64, t.N)
-	downLinks := make([]int64, t.N)
-	upFlits := make([]int64, t.N)
-	downFlits := make([]int64, t.N)
-	for sw := 0; sw < t.Routers(); sw++ {
-		level := t.SwitchLevel(sw)
-		ports := t.RouterPorts(sw)
-		for p, port := range ports {
-			if port.Kind == topology.PortUnused {
-				continue
-			}
-			if t.IsUpPort(p) {
-				upLinks[level]++
-				upFlits[level] += f.LinkFlits(sw, p)
-			} else {
-				downLinks[level]++
-				downFlits[level] += f.LinkFlits(sw, p)
-			}
-		}
-	}
 	for l := 0; l < t.N; l++ {
-		stats[l].Level = l
-		if upLinks[l] > 0 {
-			stats[l].Up = float64(upFlits[l]) / float64(upLinks[l]) / float64(cycles)
-		}
-		if downLinks[l] > 0 {
-			stats[l].Down = float64(downFlits[l]) / float64(downLinks[l]) / float64(cycles)
+		up, down := classIndexTree(l, true), classIndexTree(l, false)
+		stats[l] = LevelStats{
+			Level: l,
+			Up:    classes.Utilization(up, flits[up], cycles),
+			Down:  classes.Utilization(down, flits[down], cycles),
 		}
 	}
 	return stats, nil
@@ -81,29 +63,16 @@ func CubeDims(f *wormhole.Fabric, c *topology.Cube, cycles int64) ([]DimStats, e
 	if f.Top != topology.Topology(c) {
 		return nil, fmt.Errorf("chanstats: fabric is not built on the given cube")
 	}
+	classes := cubeClasses(c)
+	flits := make([]int64, classes.Len())
+	classes.Accumulate(f.LinkFlits, flits)
 	stats := make([]DimStats, c.N)
-	links := make([][2]int64, c.N)
-	flits := make([][2]int64, c.N)
-	for r := 0; r < c.Routers(); r++ {
-		ports := c.RouterPorts(r)
-		for d := 0; d < c.N; d++ {
-			for _, dir := range []int{topology.Plus, topology.Minus} {
-				p := topology.PortOf(d, dir)
-				if ports[p].Kind == topology.PortUnused {
-					continue
-				}
-				links[d][dir]++
-				flits[d][dir] += f.LinkFlits(r, p)
-			}
-		}
-	}
 	for d := 0; d < c.N; d++ {
-		stats[d].Dim = d
-		if links[d][topology.Plus] > 0 {
-			stats[d].Plus = float64(flits[d][topology.Plus]) / float64(links[d][topology.Plus]) / float64(cycles)
-		}
-		if links[d][topology.Minus] > 0 {
-			stats[d].Minus = float64(flits[d][topology.Minus]) / float64(links[d][topology.Minus]) / float64(cycles)
+		plus, minus := 2*d+topology.Plus, 2*d+topology.Minus
+		stats[d] = DimStats{
+			Dim:   d,
+			Plus:  classes.Utilization(plus, flits[plus], cycles),
+			Minus: classes.Utilization(minus, flits[minus], cycles),
 		}
 	}
 	return stats, nil

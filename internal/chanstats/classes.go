@@ -1,0 +1,141 @@
+package chanstats
+
+import (
+	"fmt"
+
+	"smart/internal/topology"
+)
+
+// Classes is a precomputed channel-class map over a topology's ports:
+// every used output port belongs to exactly one class (ascending or
+// descending channels of a tree level; plus or minus direction of a cube
+// dimension), so per-class traffic aggregation is a single walk over the
+// fabric's flat per-port counters instead of a topology-specific loop.
+// The end-of-run aggregators (TreeLevels, CubeDims) and the live
+// telemetry sampler (internal/telemetry) share one Classes instance,
+// which is what keeps their utilization numbers definitionally identical.
+type Classes struct {
+	// Names labels each class, e.g. "L0-up"/"L0-down" on the tree or
+	// "d0+"/"d0-" on the cube.
+	Names []string
+	// Links counts the physical channels of each class; utilization is
+	// flits / (Links * cycles).
+	Links []int64
+	// class maps port id (router*degree + port) to its class, -1 for
+	// ports outside every class (unused ports; on the cube, node ports).
+	class []int32
+	deg   int
+}
+
+// classIndexTree is the tree's class numbering: level l's ascending
+// channels are class 2l, its descending channels (including the ejection
+// links at level 0, matching TreeLevels) class 2l+1.
+func classIndexTree(level int, up bool) int {
+	if up {
+		return 2 * level
+	}
+	return 2*level + 1
+}
+
+// ClassesFor builds the channel-class map of a topology, or an error for
+// families without a class structure.
+func ClassesFor(top topology.Topology) (*Classes, error) {
+	switch t := top.(type) {
+	case *topology.Tree:
+		return treeClasses(t), nil
+	case *topology.Cube:
+		return cubeClasses(t), nil
+	default:
+		return nil, fmt.Errorf("chanstats: no channel classes for topology %T", top)
+	}
+}
+
+func treeClasses(t *topology.Tree) *Classes {
+	deg := t.Degree()
+	c := &Classes{
+		Names: make([]string, 2*t.N),
+		Links: make([]int64, 2*t.N),
+		class: make([]int32, t.Routers()*deg),
+		deg:   deg,
+	}
+	for l := 0; l < t.N; l++ {
+		c.Names[classIndexTree(l, true)] = fmt.Sprintf("L%d-up", l)
+		c.Names[classIndexTree(l, false)] = fmt.Sprintf("L%d-down", l)
+	}
+	for sw := 0; sw < t.Routers(); sw++ {
+		level := t.SwitchLevel(sw)
+		for p, port := range t.RouterPorts(sw) {
+			pid := sw*deg + p
+			if port.Kind == topology.PortUnused {
+				c.class[pid] = -1
+				continue
+			}
+			idx := classIndexTree(level, t.IsUpPort(p))
+			c.class[pid] = int32(idx)
+			c.Links[idx]++
+		}
+	}
+	return c
+}
+
+func cubeClasses(cu *topology.Cube) *Classes {
+	deg := cu.Degree()
+	c := &Classes{
+		Names: make([]string, 2*cu.N),
+		Links: make([]int64, 2*cu.N),
+		class: make([]int32, cu.Routers()*deg),
+		deg:   deg,
+	}
+	for d := 0; d < cu.N; d++ {
+		c.Names[2*d+topology.Plus] = fmt.Sprintf("d%d+", d)
+		c.Names[2*d+topology.Minus] = fmt.Sprintf("d%d-", d)
+	}
+	for r := 0; r < cu.Routers(); r++ {
+		ports := cu.RouterPorts(r)
+		for p := range ports {
+			pid := r*deg + p
+			c.class[pid] = -1
+			if ports[p].Kind != topology.PortRouter {
+				continue
+			}
+			d, dir := cu.DimDirOf(p)
+			idx := 2*d + dir
+			c.class[pid] = int32(idx)
+			c.Links[idx]++
+		}
+	}
+	return c
+}
+
+// Len returns the number of classes.
+func (c *Classes) Len() int { return len(c.Names) }
+
+// Accumulate folds the fabric's per-port flit counters into per-class
+// totals: into[i] receives the flits transmitted by class i's channels
+// since the counters were last reset. into must have Len() slots; it is
+// zeroed first. counter is indexed by port id — the fabric's LinkFlits
+// view via a closure, so Accumulate allocates nothing.
+func (c *Classes) Accumulate(counter func(r, p int) int64, into []int64) {
+	if len(into) != len(c.Names) {
+		panic(fmt.Sprintf("chanstats: Accumulate into %d slots, want %d classes", len(into), len(c.Names)))
+	}
+	for i := range into {
+		into[i] = 0
+	}
+	for pid, cls := range c.class {
+		if cls < 0 {
+			continue
+		}
+		into[cls] += counter(pid/c.deg, pid%c.deg)
+	}
+}
+
+// Utilization converts one class's flit total over an observation window
+// into the fraction of cycles its channels were busy (1.0 = every link
+// of the class transmitting every cycle).
+func (c *Classes) Utilization(class int, flits, cycles int64) float64 {
+	if cycles <= 0 || c.Links[class] == 0 {
+		return 0
+	}
+	return float64(flits) / float64(c.Links[class]) / float64(cycles)
+}

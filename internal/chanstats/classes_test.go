@@ -1,0 +1,92 @@
+package chanstats
+
+import (
+	"testing"
+
+	"smart/internal/topology"
+	"smart/internal/traffic"
+)
+
+// The classifier must partition exactly the ports the per-family
+// aggregators count: every used port on the tree (node ports fold into
+// level 0's descending class), every router-to-router port on the cube.
+func TestClassesPartitionPorts(t *testing.T) {
+	tree, _ := topology.NewTree(4, 3)
+	tc, err := ClassesFor(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tc.Len(); got != 2*tree.N {
+		t.Fatalf("tree classes: %d, want %d", got, 2*tree.N)
+	}
+	var treeUsed int64
+	for sw := 0; sw < tree.Routers(); sw++ {
+		for _, port := range tree.RouterPorts(sw) {
+			if port.Kind != topology.PortUnused {
+				treeUsed++
+			}
+		}
+	}
+	var classed int64
+	for _, n := range tc.Links {
+		classed += n
+	}
+	if classed != treeUsed {
+		t.Fatalf("tree classifier covers %d links, topology has %d used ports", classed, treeUsed)
+	}
+
+	cube, _ := topology.NewCube(4, 3)
+	cc, err := ClassesFor(cube)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cc.Len(); got != 2*cube.N {
+		t.Fatalf("cube classes: %d, want %d", got, 2*cube.N)
+	}
+	var cubeRouterPorts int64
+	for r := 0; r < cube.Routers(); r++ {
+		for _, port := range cube.RouterPorts(r) {
+			if port.Kind == topology.PortRouter {
+				cubeRouterPorts++
+			}
+		}
+	}
+	classed = 0
+	for _, n := range cc.Links {
+		classed += n
+	}
+	if classed != cubeRouterPorts {
+		t.Fatalf("cube classifier covers %d links, topology has %d router ports", classed, cubeRouterPorts)
+	}
+}
+
+// Accumulate over the classifier must reproduce the aggregators it
+// deduplicated: TreeLevels recomputed from class totals matches the
+// published view.
+func TestAccumulateMatchesTreeLevels(t *testing.T) {
+	pattern, _ := traffic.NewComplement(16)
+	f, tree := runTree(t, pattern, 0.05, 4000)
+	classes, err := ClassesFor(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flits := make([]int64, classes.Len())
+	classes.Accumulate(f.LinkFlits, flits)
+	stats, err := TreeLevels(f, tree, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l, s := range stats {
+		up := classes.Utilization(classIndexTree(l, true), flits[classIndexTree(l, true)], 4000)
+		down := classes.Utilization(classIndexTree(l, false), flits[classIndexTree(l, false)], 4000)
+		if up != s.Up || down != s.Down { //smartlint:allow floateq — both sides computed by the identical expression; any drift is a real divergence
+			t.Fatalf("level %d: classifier (%.4f, %.4f) vs TreeLevels (%.4f, %.4f)", l, up, down, s.Up, s.Down)
+		}
+	}
+}
+
+func TestClassesForRejectsUnknownTopology(t *testing.T) {
+	if _, err := ClassesFor(nil); err == nil {
+		t.Fatal("nil topology accepted")
+	}
+}

@@ -10,6 +10,8 @@ import (
 
 	"smart/internal/obs"
 	"smart/internal/resilience"
+	"smart/internal/sim"
+	"smart/internal/telemetry"
 )
 
 // Options threads the observability spine (internal/obs) through the
@@ -44,11 +46,16 @@ type Options struct {
 	// (internal/oracle) in lockstep and fails it at the first cycle whose
 	// state diverges — see Simulation.RunSelfChecked for the cost model.
 	SelfCheck bool
+	// Telemetry, when set, attaches a flight-recorder sampler to every
+	// run: live state on the HTTP endpoint, one time-series record per
+	// run in the JSONL sidecar. Sampling is observation-only — it cannot
+	// change simulated behavior (the golden fixtures pin this).
+	Telemetry *telemetry.Options
 }
 
 // observed reports whether any observer is attached.
 func (o Options) observed() bool {
-	return o.Logger != nil || o.Profiler != nil || o.Progress != nil || o.Manifest != nil || o.Checkpoint != nil
+	return o.Logger != nil || o.Profiler != nil || o.Progress != nil || o.Manifest != nil || o.Checkpoint != nil || o.Telemetry != nil
 }
 
 // RunWith executes one experiment with the paper's methodology under the
@@ -110,6 +117,22 @@ func (s *Simulation) RunWith(opts Options) (Result, error) {
 	if opts.Profiler != nil {
 		opts.Profiler.Attach(s.Engine)
 	}
+	var sampler *telemetry.Sampler
+	if opts.Telemetry != nil {
+		// Registered after the fabric's stages, so each sample reads
+		// complete end-of-cycle state.
+		sampler = telemetry.NewSampler(s.Fabric, s.Engine, telemetry.RunInfo{
+			Batch:       opts.Batch,
+			Index:       opts.Index,
+			Label:       cfg.Label(),
+			Pattern:     cfg.Pattern,
+			Seed:        cfg.Seed,
+			Load:        cfg.Load,
+			Fingerprint: cfg.Fingerprint(),
+		}, opts.Telemetry.Config)
+		sampler.Register(s.Engine)
+		opts.Telemetry.Server.Attach(sampler)
+	}
 	if logger != nil {
 		logger.Debug("run starting", "warmup", cfg.Warmup, "horizon", cfg.Horizon)
 	}
@@ -117,6 +140,11 @@ func (s *Simulation) RunWith(opts Options) (Result, error) {
 	res, err := run()
 	wall := elapsed()
 	cycles := s.Engine.Cycle()
+	if sampler != nil {
+		if serr := finishTelemetry(sampler, opts.Telemetry, err); serr != nil && err == nil {
+			return res, fmt.Errorf("core: telemetry sidecar: %w", serr)
+		}
+	}
 	if err != nil {
 		if logger != nil {
 			logger.Error("run failed", "err", err, "wall_ms", wallMS(wall))
@@ -149,6 +177,27 @@ func (s *Simulation) RunWith(opts Options) (Result, error) {
 		}
 	}
 	return res, nil
+}
+
+// finishTelemetry settles a run's flight recorder: the terminal stall
+// event if the watchdog fired, a forced final sample, detachment from
+// the live endpoint, and the sidecar record. Failed runs journal too —
+// their recordings are the interesting ones.
+func finishTelemetry(sp *telemetry.Sampler, t *telemetry.Options, runErr error) error {
+	failure := ""
+	if runErr != nil {
+		failure = failureText(runErr)
+		var st *sim.StallError
+		if errors.As(runErr, &st) {
+			sp.NoteStall(st)
+		}
+	}
+	sp.Finish(failure)
+	t.Server.Detach(sp, runErr != nil)
+	if t.Sidecar != nil {
+		return t.Sidecar.Write(telemetry.RecordOf(sp))
+	}
+	return nil
 }
 
 // runRecord assembles the manifest line for one completed run.

@@ -74,30 +74,19 @@ func (c *Checkpoint) load() (int64, error) {
 	if err != nil {
 		return 0, fmt.Errorf("resilience: reading checkpoint %s: %w", c.path, err)
 	}
-	var off int64
-	line := 0
-	for len(data) > 0 {
-		nl := bytes.IndexByte(data, '\n')
-		if nl < 0 {
-			// Torn tail from an interrupted write: the run it described
-			// did not get journaled, so it simply re-runs.
-			break
-		}
-		line++
-		dec := json.NewDecoder(bytes.NewReader(data[:nl]))
+	return ScanJournal(data, func(line int, raw []byte) error {
+		dec := json.NewDecoder(bytes.NewReader(raw))
 		dec.DisallowUnknownFields()
 		var rec obs.RunRecord
 		if err := dec.Decode(&rec); err != nil {
-			return 0, fmt.Errorf("resilience: checkpoint %s line %d is corrupt: %w", c.path, line, err)
+			return fmt.Errorf("resilience: checkpoint %s line %d is corrupt: %w", c.path, line, err)
 		}
 		if rec.Schema != obs.RunSchema && rec.Schema != obs.RunSchemaV1 {
-			return 0, fmt.Errorf("resilience: checkpoint %s line %d has unknown schema %q", c.path, line, rec.Schema)
+			return fmt.Errorf("resilience: checkpoint %s line %d has unknown schema %q", c.path, line, rec.Schema)
 		}
 		c.done[rec.Fingerprint] = rec
-		off += int64(nl) + 1
-		data = data[nl+1:]
-	}
-	return off, nil
+		return nil
+	})
 }
 
 // Path returns the journal's file path.

@@ -1,0 +1,30 @@
+package resilience
+
+import "bytes"
+
+// ScanJournal walks the bytes of an append-only JSONL journal, calling
+// fn once per complete line (1-based line number, newline excluded), and
+// returns the byte offset just past the last complete line. A torn final
+// line — no trailing newline, the signature of a killed process — is not
+// visited: the writer truncates to the returned offset and re-appends,
+// which is the crash-tolerance contract both the checkpoint journal and
+// the telemetry time-series sidecar rely on. An error from fn aborts the
+// scan: mid-file corruption means the file is not the journal it claims
+// to be.
+func ScanJournal(data []byte, fn func(n int, line []byte) error) (int64, error) {
+	var off int64
+	n := 0
+	for len(data) > 0 {
+		nl := bytes.IndexByte(data, '\n')
+		if nl < 0 {
+			break
+		}
+		n++
+		if err := fn(n, data[:nl]); err != nil {
+			return off, err
+		}
+		off += int64(nl) + 1
+		data = data[nl+1:]
+	}
+	return off, nil
+}

@@ -94,3 +94,16 @@ func (e *Engine) Watch(budget int64, w Watchable) {
 // stalled engine cannot make further progress, and subsequent Run
 // calls return immediately.
 func (e *Engine) Stall() *StallError { return e.stall }
+
+// WatchState reports the installed watchdog's live bookkeeping — the
+// cycle the progress counter last moved and the configured budget — or
+// ok == false when the engine is unwatched. The telemetry layer uses it
+// to emit near-stall events while a run is still alive: a fabric that
+// has burned a large fraction of its no-progress budget is congestion
+// news worth reporting before the watchdog kills the run.
+func (e *Engine) WatchState() (stalledSince, budget int64, ok bool) {
+	if e.wd == nil {
+		return 0, 0, false
+	}
+	return e.wd.since, e.wd.budget, true
+}

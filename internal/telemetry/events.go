@@ -1,0 +1,224 @@
+package telemetry
+
+import (
+	"fmt"
+
+	"smart/internal/wormhole"
+)
+
+// Event kinds emitted by the congestion detector.
+const (
+	// EventCongestionOnset fires when a channel class sustains
+	// utilization at or above the onset threshold for Sustain
+	// consecutive samples; EventCongestionClear when a hot class falls
+	// back to or below the clear threshold. The gap between the two
+	// thresholds is the hysteresis band that keeps a class hovering at
+	// the boundary from spamming the log.
+	EventCongestionOnset = "congestion-onset"
+	EventCongestionClear = "congestion-clear"
+	// EventQueueGrowth fires when the total source-queue backlog grows
+	// strictly for QueueGrowth consecutive samples — the paper's
+	// saturation signature: offered traffic outrunning acceptance.
+	EventQueueGrowth = "queue-growth"
+	// EventNearStall fires when flits are in flight but the fabric's
+	// progress counter has been flat for a large fraction of the
+	// watchdog's no-progress budget — the last observable state before
+	// the watchdog kills the run.
+	EventNearStall = "near-stall"
+	// EventStall is terminal: the watchdog fired and the run died with a
+	// sim.StallError; the event summarizes its StallSnapshot.
+	EventStall = "stall"
+)
+
+// Event is one structured congestion event. Every field is a
+// deterministic function of simulation state, so event streams are
+// digest-stable across identical runs.
+type Event struct {
+	Cycle int64  `json:"cycle"`
+	Kind  string `json:"kind"`
+	// Class names the channel class for congestion events ("" for
+	// fabric-wide events).
+	Class string `json:"class,omitempty"`
+	// Value is the measurement that triggered the event (utilization,
+	// queue depth, stalled cycles); Threshold the boundary it crossed.
+	Value     float64 `json:"value,omitempty"`
+	Threshold float64 `json:"threshold,omitempty"`
+	// Detail is a human-readable elaboration.
+	Detail string `json:"detail,omitempty"`
+}
+
+// Thresholds tunes the congestion-event detector. The zero value takes
+// the defaults via withDefaults.
+type Thresholds struct {
+	// Onset and Clear bound the per-class utilization hysteresis band:
+	// a class becomes hot after Sustain consecutive samples at >= Onset
+	// and cools at <= Clear. Defaults 0.90 / 0.75.
+	Onset, Clear float64
+	// Sustain is the consecutive-sample requirement for onset (default
+	// 3: one interval above threshold is a burst, three are congestion).
+	Sustain int
+	// QueueGrowth is the consecutive strictly-growing backlog samples
+	// before a queue-growth event (default 5).
+	QueueGrowth int
+	// NearStallFraction is the fraction of the watchdog budget the
+	// progress counter may stay flat before a near-stall event (default
+	// 0.5). Without a watchdog, near-stall falls back to
+	// NearStallSamples flat samples with traffic in flight.
+	NearStallFraction float64
+	// NearStallSamples is the watchdog-less fallback (default 10).
+	NearStallSamples int
+}
+
+func (t Thresholds) withDefaults() Thresholds {
+	if t.Onset <= 0 {
+		t.Onset = 0.90
+	}
+	if t.Clear <= 0 {
+		t.Clear = 0.75
+	}
+	if t.Sustain <= 0 {
+		t.Sustain = 3
+	}
+	if t.QueueGrowth <= 0 {
+		t.QueueGrowth = 5
+	}
+	if t.NearStallFraction <= 0 {
+		t.NearStallFraction = 0.5
+	}
+	if t.NearStallSamples <= 0 {
+		t.NearStallSamples = 10
+	}
+	return t
+}
+
+// detector turns a stream of per-sample observations into events. It is
+// purely sequential state — no wall clock, no randomness — so identical
+// runs produce identical event streams.
+type detector struct {
+	thr Thresholds
+	// per-class hysteresis state
+	hotStreak []int  // consecutive samples at >= Onset
+	hot       []bool // class is in the congested state
+	// queue-growth state
+	prevQueued  int64
+	growStreak  int
+	growArmed   bool
+	firstSample bool
+	// near-stall state
+	flatSamples int
+	nearFired   bool
+}
+
+func newDetector(classes int, thr Thresholds) *detector {
+	return &detector{
+		thr:         thr.withDefaults(),
+		hotStreak:   make([]int, classes),
+		hot:         make([]bool, classes),
+		growArmed:   true,
+		firstSample: true,
+	}
+}
+
+// observation is one sample's view as the detector consumes it.
+type observation struct {
+	cycle     int64
+	classUtil []float64 // per-class utilization over the last interval
+	queued    int64     // packets waiting at sources or part-injected
+	inFlight  int64
+	// progressed reports whether the fabric's progress counter moved
+	// since the previous sample.
+	progressed bool
+	// watch carries the engine watchdog's live state when armed.
+	watchSince, watchBudget int64
+	watched                 bool
+}
+
+// observe consumes one sample and appends any events to the emit sink.
+func (d *detector) observe(o observation, classNames []string, emit func(Event)) {
+	for c, util := range o.classUtil {
+		if util >= d.thr.Onset {
+			d.hotStreak[c]++
+			if !d.hot[c] && d.hotStreak[c] >= d.thr.Sustain {
+				d.hot[c] = true
+				emit(Event{
+					Cycle: o.cycle, Kind: EventCongestionOnset, Class: classNames[c],
+					Value: util, Threshold: d.thr.Onset,
+					Detail: fmt.Sprintf("utilization >= %.2f for %d consecutive samples", d.thr.Onset, d.hotStreak[c]),
+				})
+			}
+		} else {
+			d.hotStreak[c] = 0
+			if d.hot[c] && util <= d.thr.Clear {
+				d.hot[c] = false
+				emit(Event{
+					Cycle: o.cycle, Kind: EventCongestionClear, Class: classNames[c],
+					Value: util, Threshold: d.thr.Clear,
+				})
+			}
+		}
+	}
+
+	if !d.firstSample {
+		if o.queued > d.prevQueued {
+			d.growStreak++
+			if d.growArmed && d.growStreak >= d.thr.QueueGrowth {
+				d.growArmed = false
+				emit(Event{
+					Cycle: o.cycle, Kind: EventQueueGrowth,
+					Value: float64(o.queued), Threshold: float64(d.thr.QueueGrowth),
+					Detail: fmt.Sprintf("source backlog grew for %d consecutive samples", d.growStreak),
+				})
+			}
+		} else {
+			d.growStreak = 0
+			d.growArmed = true
+		}
+	}
+	d.prevQueued = o.queued
+	d.firstSample = false
+
+	if o.progressed || o.inFlight == 0 {
+		d.flatSamples = 0
+		d.nearFired = false
+	} else {
+		d.flatSamples++
+		if !d.nearFired && d.nearStalled(o) {
+			d.nearFired = true
+			ev := Event{
+				Cycle: o.cycle, Kind: EventNearStall,
+				Value:  float64(o.cycle - o.watchSince),
+				Detail: fmt.Sprintf("%d flits in flight with no progress", o.inFlight),
+			}
+			if o.watched {
+				ev.Threshold = d.thr.NearStallFraction * float64(o.watchBudget)
+			}
+			emit(ev)
+		}
+	}
+}
+
+// nearStalled decides whether the flat-progress streak qualifies as a
+// near-stall: against the live watchdog budget when one is armed,
+// against the sample-count fallback otherwise.
+func (d *detector) nearStalled(o observation) bool {
+	if o.watched {
+		return float64(o.cycle-o.watchSince) >= d.thr.NearStallFraction*float64(o.watchBudget)
+	}
+	return d.flatSamples >= d.thr.NearStallSamples
+}
+
+// stallEvent renders a terminal watchdog stall as an event, summarizing
+// the wormhole post-mortem when the report carries one.
+func stallEvent(cycle, stalledSince, budget int64, report any) Event {
+	ev := Event{
+		Cycle: cycle, Kind: EventStall,
+		Value:     float64(cycle - stalledSince),
+		Threshold: float64(budget),
+		Detail:    fmt.Sprintf("watchdog fired: no progress since cycle %d", stalledSince),
+	}
+	if snap, ok := report.(*wormhole.StallSnapshot); ok && snap != nil {
+		ev.Detail = fmt.Sprintf("watchdog fired: %d blocked headers, %d non-idle lanes, %d flits in flight, no progress since cycle %d",
+			snap.BlockedTotal, snap.LanesTotal, snap.InFlight, stalledSince)
+	}
+	return ev
+}

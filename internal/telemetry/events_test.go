@@ -1,0 +1,142 @@
+package telemetry
+
+import "testing"
+
+// feed pushes one observation into d and returns the events it emitted.
+func feed(d *detector, o observation) []Event {
+	var out []Event
+	d.observe(o, []string{"c0"}, func(ev Event) { out = append(out, ev) })
+	return out
+}
+
+func TestCongestionHysteresis(t *testing.T) {
+	d := newDetector(1, Thresholds{Onset: 0.9, Clear: 0.75, Sustain: 3})
+	cycle := int64(0)
+	util := func(u float64) []Event {
+		cycle += 100
+		return feed(d, observation{cycle: cycle, classUtil: []float64{u}, progressed: true})
+	}
+
+	// Two hot samples: below the sustain requirement, no event.
+	if evs := util(0.95); len(evs) != 0 {
+		t.Fatalf("after 1 hot sample: %v", evs)
+	}
+	if evs := util(0.95); len(evs) != 0 {
+		t.Fatalf("after 2 hot samples: %v", evs)
+	}
+	// Third consecutive hot sample: onset.
+	evs := util(0.95)
+	if len(evs) != 1 || evs[0].Kind != EventCongestionOnset || evs[0].Class != "c0" {
+		t.Fatalf("after 3 hot samples: %v", evs)
+	}
+	// Staying hot does not re-fire.
+	if evs := util(0.99); len(evs) != 0 {
+		t.Fatalf("staying hot re-fired: %v", evs)
+	}
+	// Dipping into the hysteresis band (between clear and onset) does
+	// not clear.
+	if evs := util(0.8); len(evs) != 0 {
+		t.Fatalf("hysteresis band cleared: %v", evs)
+	}
+	// Dropping to the clear threshold does.
+	evs = util(0.7)
+	if len(evs) != 1 || evs[0].Kind != EventCongestionClear {
+		t.Fatalf("below clear: %v", evs)
+	}
+	// A single hot sample after clearing does not immediately re-onset:
+	// the sustain counter restarted.
+	if evs := util(0.95); len(evs) != 0 {
+		t.Fatalf("onset without sustain after clear: %v", evs)
+	}
+	util(0.95)
+	evs = util(0.95)
+	if len(evs) != 1 || evs[0].Kind != EventCongestionOnset {
+		t.Fatalf("second onset after sustain: %v", evs)
+	}
+}
+
+func TestQueueGrowthRearm(t *testing.T) {
+	d := newDetector(0, Thresholds{QueueGrowth: 3})
+	cycle := int64(0)
+	q := func(queued int64) []Event {
+		cycle += 100
+		return feed(d, observation{cycle: cycle, queued: queued, progressed: true})
+	}
+
+	// First sample establishes the baseline; then three consecutive
+	// strictly-growing samples fire once.
+	var got []Event
+	for _, queued := range []int64{1, 2, 3} {
+		if evs := q(queued); len(evs) != 0 {
+			t.Fatalf("queued=%d fired early: %v", queued, evs)
+		}
+	}
+	got = q(4)
+	if len(got) != 1 || got[0].Kind != EventQueueGrowth {
+		t.Fatalf("after 3 growing samples: %v", got)
+	}
+	// Continued growth does not re-fire until the streak breaks.
+	if evs := q(5); len(evs) != 0 {
+		t.Fatalf("continued growth re-fired: %v", evs)
+	}
+	if evs := q(5); len(evs) != 0 { // flat: re-arms
+		t.Fatalf("flat sample fired: %v", evs)
+	}
+	q(6)
+	q(7)
+	got = q(8)
+	if len(got) != 1 || got[0].Kind != EventQueueGrowth {
+		t.Fatalf("after re-arm and 3 growing samples: %v", got)
+	}
+}
+
+func TestNearStallFallback(t *testing.T) {
+	d := newDetector(0, Thresholds{NearStallSamples: 4})
+	cycle := int64(0)
+	flat := func(inFlight int64, progressed bool) []Event {
+		cycle += 100
+		return feed(d, observation{cycle: cycle, inFlight: inFlight, progressed: progressed})
+	}
+
+	for i := 0; i < 3; i++ {
+		if evs := flat(10, false); len(evs) != 0 {
+			t.Fatalf("flat sample %d fired early: %v", i+1, evs)
+		}
+	}
+	evs := flat(10, false)
+	if len(evs) != 1 || evs[0].Kind != EventNearStall {
+		t.Fatalf("after 4 flat samples: %v", evs)
+	}
+	// Stays quiet until progress resets the streak...
+	if evs := flat(10, false); len(evs) != 0 {
+		t.Fatalf("near-stall re-fired: %v", evs)
+	}
+	flat(10, true)
+	// ...and an idle network (nothing in flight) never counts as stalled.
+	for i := 0; i < 10; i++ {
+		if evs := flat(0, false); len(evs) != 0 {
+			t.Fatalf("idle network fired: %v", evs)
+		}
+	}
+}
+
+func TestNearStallAgainstWatchdogBudget(t *testing.T) {
+	d := newDetector(0, Thresholds{NearStallFraction: 0.5})
+	// Stalled since cycle 100 with a 200-cycle budget: the halfway point
+	// is cycle 200.
+	evs := feed(d, observation{cycle: 150, inFlight: 5, watched: true, watchSince: 100, watchBudget: 200})
+	if len(evs) != 0 {
+		t.Fatalf("below the budget fraction: %v", evs)
+	}
+	evs = feed(d, observation{cycle: 200, inFlight: 5, watched: true, watchSince: 100, watchBudget: 200})
+	if len(evs) != 1 || evs[0].Kind != EventNearStall {
+		t.Fatalf("at the budget fraction: %v", evs)
+	}
+}
+
+func TestStallEventSummarizesSnapshot(t *testing.T) {
+	ev := stallEvent(500, 300, 200, nil)
+	if ev.Kind != EventStall || ev.Cycle != 500 || ev.Value != 200 || ev.Threshold != 200 {
+		t.Fatalf("stall event = %+v", ev)
+	}
+}

@@ -1,0 +1,324 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+
+	"smart/internal/obs"
+)
+
+// Server exposes live telemetry over HTTP: /metrics serves the
+// Prometheus text exposition format, /telemetry.json the same state as
+// JSON. Samplers attach as runs start; the server renders whatever is
+// attached at request time, so a scrape mid-sweep sees the in-flight
+// runs' live gauges plus grid-level progress. Rendering order follows
+// attach order (never map iteration), so two scrapes of the same state
+// produce identical bodies.
+type Server struct {
+	mu       sync.Mutex
+	samplers []*Sampler
+	progress *obs.Progress
+	// runsDone/runsFailed are cumulative across the process, advancing
+	// as samplers finish.
+	runsDone, runsFailed int64
+}
+
+// NewServer returns an empty telemetry server.
+func NewServer() *Server { return &Server{} }
+
+// Attach registers a run's sampler for serving. Finished samplers stay
+// attached (bounded by the grid size) so late scrapes can still read
+// terminal state; RunDone moves their counts into the cumulative
+// totals.
+func (s *Server) Attach(sp *Sampler) {
+	if s == nil || sp == nil {
+		return
+	}
+	s.mu.Lock()
+	s.samplers = append(s.samplers, sp)
+	s.mu.Unlock()
+}
+
+// Detach removes a finished run's sampler and folds it into the
+// cumulative run counters.
+func (s *Server) Detach(sp *Sampler, failed bool) {
+	if s == nil || sp == nil {
+		return
+	}
+	s.mu.Lock()
+	for i, have := range s.samplers {
+		if have == sp {
+			s.samplers = append(s.samplers[:i], s.samplers[i+1:]...)
+			break
+		}
+	}
+	s.runsDone++
+	if failed {
+		s.runsFailed++
+	}
+	s.mu.Unlock()
+}
+
+// SetProgress wires the grid-level progress tracker (optional).
+func (s *Server) SetProgress(p *obs.Progress) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.progress = p
+	s.mu.Unlock()
+}
+
+// Handler returns the HTTP mux serving /metrics and /telemetry.json.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.serveMetrics)
+	mux.HandleFunc("/telemetry.json", s.serveJSON)
+	return mux
+}
+
+// Serve listens on addr and serves until the listener is closed. It
+// returns the bound listener (so callers can report the ephemeral port
+// of ":0" and close on shutdown) and runs the HTTP loop on its own
+// goroutine.
+func (s *Server) Serve(addr string) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listening on %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: s.Handler()}
+	go srv.Serve(ln)
+	return ln, nil
+}
+
+// snapshotState collects a consistent view for rendering.
+type serverState struct {
+	samplers []*Sampler
+	progress obs.Snapshot
+	hasProg  bool
+	done     int64
+	failed   int64
+}
+
+func (s *Server) state() serverState {
+	s.mu.Lock()
+	st := serverState{
+		samplers: append([]*Sampler(nil), s.samplers...),
+		done:     s.runsDone,
+		failed:   s.runsFailed,
+	}
+	if s.progress != nil {
+		st.progress = s.progress.Snapshot()
+		st.hasProg = true
+	}
+	s.mu.Unlock()
+	return st
+}
+
+// escapeLabel escapes a Prometheus label value (backslash, quote,
+// newline).
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+// runLabels renders the shared label set of one run's metrics.
+func runLabels(run RunInfo) string {
+	return fmt.Sprintf(`{batch=%q,index="%d",label=%q,pattern=%q,load="%g"}`,
+		escapeLabel(run.Batch), run.Index, escapeLabel(run.Label), escapeLabel(run.Pattern), run.Load)
+}
+
+func (s *Server) serveMetrics(w http.ResponseWriter, r *http.Request) {
+	st := s.state()
+	var b strings.Builder
+
+	b.WriteString("# HELP smart_runs_completed_total Runs finished by this process.\n")
+	b.WriteString("# TYPE smart_runs_completed_total counter\n")
+	fmt.Fprintf(&b, "smart_runs_completed_total %d\n", st.done)
+	b.WriteString("# HELP smart_runs_failed_total Runs that finished with a failure.\n")
+	b.WriteString("# TYPE smart_runs_failed_total counter\n")
+	fmt.Fprintf(&b, "smart_runs_failed_total %d\n", st.failed)
+	b.WriteString("# HELP smart_runs_active Runs currently recording telemetry.\n")
+	b.WriteString("# TYPE smart_runs_active gauge\n")
+	fmt.Fprintf(&b, "smart_runs_active %d\n", len(st.samplers))
+
+	if st.hasProg {
+		b.WriteString("# HELP smart_grid_completed Grid points completed.\n")
+		b.WriteString("# TYPE smart_grid_completed gauge\n")
+		fmt.Fprintf(&b, "smart_grid_completed %d\n", st.progress.Completed)
+		b.WriteString("# HELP smart_grid_total Grid points in the sweep.\n")
+		b.WriteString("# TYPE smart_grid_total gauge\n")
+		fmt.Fprintf(&b, "smart_grid_total %d\n", st.progress.Total)
+		b.WriteString("# HELP smart_grid_cycles_total Simulated cycles across completed runs.\n")
+		b.WriteString("# TYPE smart_grid_cycles_total counter\n")
+		fmt.Fprintf(&b, "smart_grid_cycles_total %d\n", st.progress.Cycles)
+		b.WriteString("# HELP smart_grid_cycles_per_second Aggregate simulation rate.\n")
+		b.WriteString("# TYPE smart_grid_cycles_per_second gauge\n")
+		fmt.Fprintf(&b, "smart_grid_cycles_per_second %g\n", st.progress.CyclesPerSec)
+	}
+
+	type metric struct{ name, help, kind string }
+	cum := []metric{
+		{"smart_run_flits_injected_total", "Flits injected since fabric construction.", "counter"},
+		{"smart_run_flits_delivered_total", "Flits delivered since fabric construction.", "counter"},
+		{"smart_run_headers_routed_total", "Routing decisions won.", "counter"},
+		{"smart_run_credit_stalls_total", "Send attempts lost to exhausted credits.", "counter"},
+	}
+	gauges := []metric{
+		{"smart_run_cycle", "Cycle of the latest sample.", "gauge"},
+		{"smart_run_in_flight", "Flits inside the network.", "gauge"},
+		{"smart_run_queued", "Packets waiting at sources.", "gauge"},
+		{"smart_run_occupied_lanes", "Lanes holding at least one flit.", "gauge"},
+		{"smart_run_buffered_flits", "Flits buffered in lanes.", "gauge"},
+		{"smart_run_max_nic_queue", "Deepest source queue.", "gauge"},
+		{"smart_run_events", "Congestion events recorded.", "gauge"},
+	}
+	// Gather each sampler's latest point once, in attach order.
+	type runView struct {
+		run    RunInfo
+		last   Point
+		names  []string
+		events int
+		ok     bool
+	}
+	views := make([]runView, 0, len(st.samplers))
+	for _, sp := range st.samplers {
+		points, events := sp.Snapshot()
+		v := runView{run: sp.Run(), names: sp.ClassNames(), events: len(events)}
+		if len(points) > 0 {
+			v.last = points[len(points)-1]
+			v.ok = true
+		}
+		views = append(views, v)
+	}
+	value := func(m string, v runView) (int64, bool) {
+		switch m {
+		case "smart_run_flits_injected_total":
+			return v.last.FlitsInjected, true
+		case "smart_run_flits_delivered_total":
+			return v.last.FlitsDelivered, true
+		case "smart_run_headers_routed_total":
+			return v.last.HeadersRouted, true
+		case "smart_run_credit_stalls_total":
+			return v.last.CreditStalls, true
+		case "smart_run_cycle":
+			return v.last.Cycle, true
+		case "smart_run_in_flight":
+			return v.last.InFlight, true
+		case "smart_run_queued":
+			return v.last.Queued, true
+		case "smart_run_occupied_lanes":
+			return int64(v.last.OccupiedLanes), true
+		case "smart_run_buffered_flits":
+			return int64(v.last.BufferedFlits), true
+		case "smart_run_max_nic_queue":
+			return v.last.MaxNICQueue, true
+		case "smart_run_events":
+			return int64(v.events), true
+		}
+		return 0, false
+	}
+	for _, m := range append(cum, gauges...) {
+		wrote := false
+		for _, v := range views {
+			if !v.ok {
+				continue
+			}
+			val, ok := value(m.name, v)
+			if !ok {
+				continue
+			}
+			if !wrote {
+				fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", m.name, m.help, m.name, m.kind)
+				wrote = true
+			}
+			fmt.Fprintf(&b, "%s%s %d\n", m.name, runLabels(v.run), val)
+		}
+	}
+	// Per-class interval flits, labeled by class name.
+	wrote := false
+	for _, v := range views {
+		if !v.ok || len(v.names) == 0 {
+			continue
+		}
+		if !wrote {
+			b.WriteString("# HELP smart_run_class_flits Flits moved per channel class in the last sample interval.\n")
+			b.WriteString("# TYPE smart_run_class_flits gauge\n")
+			wrote = true
+		}
+		labels := runLabels(v.run)
+		for i, n := range v.names {
+			if i >= len(v.last.ClassFlits) {
+				break
+			}
+			// Splice the class label into the shared label set.
+			withClass := strings.TrimSuffix(labels, "}") + fmt.Sprintf(",class=%q}", escapeLabel(n))
+			fmt.Fprintf(&b, "smart_run_class_flits%s %d\n", withClass, v.last.ClassFlits[i])
+		}
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write([]byte(b.String()))
+}
+
+// jsonState is the /telemetry.json response body.
+type jsonState struct {
+	RunsActive    int       `json:"runs_active"`
+	RunsCompleted int64     `json:"runs_completed"`
+	RunsFailed    int64     `json:"runs_failed"`
+	Grid          *gridJSON `json:"grid,omitempty"`
+	Runs          []runJSON `json:"runs"`
+}
+
+type gridJSON struct {
+	Completed    int64   `json:"completed"`
+	Total        int64   `json:"total"`
+	Cycles       int64   `json:"cycles"`
+	CyclesPerSec float64 `json:"cycles_per_sec"`
+}
+
+type runJSON struct {
+	RunInfo
+	Every      int64    `json:"every"`
+	ClassNames []string `json:"class_names,omitempty"`
+	Points     []Point  `json:"points"`
+	Events     []Event  `json:"events,omitempty"`
+}
+
+func (s *Server) serveJSON(w http.ResponseWriter, r *http.Request) {
+	st := s.state()
+	body := jsonState{
+		RunsActive:    len(st.samplers),
+		RunsCompleted: st.done,
+		RunsFailed:    st.failed,
+		Runs:          []runJSON{},
+	}
+	if st.hasProg {
+		body.Grid = &gridJSON{
+			Completed:    st.progress.Completed,
+			Total:        st.progress.Total,
+			Cycles:       st.progress.Cycles,
+			CyclesPerSec: st.progress.CyclesPerSec,
+		}
+	}
+	for _, sp := range st.samplers {
+		points, events := sp.Snapshot()
+		body.Runs = append(body.Runs, runJSON{
+			RunInfo:    sp.Run(),
+			Every:      sp.Every(),
+			ClassNames: sp.ClassNames(),
+			Points:     points,
+			Events:     events,
+		})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(body)
+}

@@ -1,0 +1,235 @@
+package telemetry
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+
+	"smart/internal/resilience"
+)
+
+// Schema versions the time-series sidecar record layout. Decoders
+// reject records whose schema they do not understand.
+const Schema = "smart/timeseries/v1"
+
+// Record is one line of the JSONL time-series sidecar: the full flight
+// recording of a single run — its identity, sampling cadence, class
+// labels, retained time series and event log. No field depends on wall
+// time or iteration order, so identical runs produce byte-identical
+// records and DigestRecords is stable by construction.
+type Record struct {
+	Schema string `json:"schema"`
+	RunInfo
+	// Every is the sampling cadence in cycles.
+	Every int64 `json:"every"`
+	// ClassNames labels the ClassFlits slots of every point; ClassLinks
+	// counts each class's physical channels, which is what turns a flit
+	// delta into a utilization (flits / links / interval). Both absent
+	// for classless topologies.
+	ClassNames []string `json:"class_names,omitempty"`
+	ClassLinks []int64  `json:"class_links,omitempty"`
+	// Points is the retained time series, oldest first; DroppedPoints
+	// counts samples that scrolled off the flight recorder's ring.
+	Points        []Point `json:"points"`
+	DroppedPoints int     `json:"dropped_points,omitempty"`
+	// Events is the congestion-event log (kept from the head);
+	// DroppedEvents counts overflow.
+	Events        []Event `json:"events,omitempty"`
+	DroppedEvents int     `json:"dropped_events,omitempty"`
+	// Failure carries the run's failure summary, empty for success.
+	Failure string `json:"failure,omitempty"`
+}
+
+// RecordOf assembles the sidecar record for a finished (or dying)
+// sampler.
+func RecordOf(s *Sampler) Record {
+	points, events := s.Snapshot()
+	dp, de := s.Dropped()
+	s.mu.Lock()
+	failure := s.failure
+	s.mu.Unlock()
+	return Record{
+		Schema:        Schema,
+		RunInfo:       s.run,
+		Every:         s.cfg.Every,
+		ClassNames:    s.ClassNames(),
+		ClassLinks:    s.ClassLinks(),
+		Points:        points,
+		DroppedPoints: dp,
+		Events:        events,
+		DroppedEvents: de,
+		Failure:       failure,
+	}
+}
+
+// Sidecar journals time-series records to a JSONL file next to the run
+// manifest, one record per run, flushed as each run finishes. Opened
+// with resume it loads the already-recorded fingerprints, and Write
+// drops duplicates — so a kill-and-resume sweep produces a sidecar with
+// each run's series exactly once. The file tolerates the same torn tail
+// the checkpoint journal does.
+type Sidecar struct {
+	mu     sync.Mutex
+	f      *os.File
+	enc    *json.Encoder
+	path   string
+	seen   map[string]bool
+	closed bool
+}
+
+// OpenSidecar creates (or, with resume, reopens and scans) the sidecar
+// at path. Without resume an existing file is truncated.
+func OpenSidecar(path string, resume bool) (*Sidecar, error) {
+	flags := os.O_RDWR | os.O_CREATE
+	if !resume {
+		flags |= os.O_TRUNC
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: opening sidecar: %w", err)
+	}
+	s := &Sidecar{f: f, path: path, seen: map[string]bool{}}
+	if resume {
+		data, err := io.ReadAll(f)
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("telemetry: reading sidecar %s: %w", path, err)
+		}
+		valid, err := resilience.ScanJournal(data, func(n int, line []byte) error {
+			var rec struct {
+				Schema      string `json:"schema"`
+				Fingerprint string `json:"fingerprint"`
+			}
+			if err := json.Unmarshal(line, &rec); err != nil {
+				return fmt.Errorf("telemetry: sidecar %s line %d is corrupt: %w", path, n, err)
+			}
+			if rec.Schema != Schema {
+				return fmt.Errorf("telemetry: sidecar %s line %d has unknown schema %q (want %q)", path, n, rec.Schema, Schema)
+			}
+			s.seen[rec.Fingerprint] = true
+			return nil
+		})
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := f.Truncate(valid); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("telemetry: truncating torn sidecar tail: %w", err)
+		}
+		if _, err := f.Seek(valid, io.SeekStart); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("telemetry: seeking sidecar: %w", err)
+		}
+	}
+	s.enc = json.NewEncoder(f)
+	return s, nil
+}
+
+// Path returns the sidecar's file path.
+func (s *Sidecar) Path() string { return s.path }
+
+// Len returns the number of distinct runs on record.
+func (s *Sidecar) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.seen)
+}
+
+// Write journals one run's record, flushing before returning. A record
+// whose fingerprint is already on file is dropped — the resume dedup
+// that keeps a kill-and-resume sweep from duplicating series. Safe for
+// concurrent use by parallel runners.
+func (s *Sidecar) Write(rec Record) error {
+	if rec.Schema == "" {
+		rec.Schema = Schema
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("telemetry: sidecar %s is closed", s.path)
+	}
+	if s.seen[rec.Fingerprint] {
+		return nil
+	}
+	if err := s.enc.Encode(rec); err != nil {
+		return fmt.Errorf("telemetry: journaling series %s: %w", rec.Fingerprint, err)
+	}
+	s.seen[rec.Fingerprint] = true
+	return nil
+}
+
+// Close syncs and closes the sidecar. Idempotent.
+func (s *Sidecar) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	syncErr := s.f.Sync()
+	if err := s.f.Close(); err != nil {
+		return fmt.Errorf("telemetry: closing sidecar: %w", err)
+	}
+	if syncErr != nil {
+		return fmt.Errorf("telemetry: syncing sidecar: %w", syncErr)
+	}
+	return nil
+}
+
+// DecodeSidecar parses a complete sidecar file back into records,
+// rejecting unknown schemas and malformed lines (a torn tail is a
+// decode error here: readers see only finished files).
+func DecodeSidecar(data []byte) ([]Record, error) {
+	var recs []Record
+	dec := json.NewDecoder(bytes.NewReader(data))
+	for dec.More() {
+		var rec Record
+		if err := dec.Decode(&rec); err != nil {
+			return nil, fmt.Errorf("telemetry: sidecar record %d: %w", len(recs)+1, err)
+		}
+		if rec.Schema != Schema {
+			return nil, fmt.Errorf("telemetry: sidecar record %d has unknown schema %q (want %q)", len(recs)+1, rec.Schema, Schema)
+		}
+		recs = append(recs, rec)
+	}
+	return recs, nil
+}
+
+// DigestRecords returns a canonical content hash of a set of sidecar
+// records, invariant to record order (parallel runners finish in
+// wall-clock order). Since Record carries no wall-time field, a resumed
+// sweep digests identically to an uninterrupted one — the sidecar's
+// version of the manifest digest contract.
+func DigestRecords(recs []Record) string {
+	canon := make([]Record, len(recs))
+	copy(canon, recs)
+	sort.Slice(canon, func(i, j int) bool {
+		a, b := &canon[i], &canon[j]
+		if a.Batch != b.Batch {
+			return a.Batch < b.Batch
+		}
+		if a.Index != b.Index {
+			return a.Index < b.Index
+		}
+		return a.Fingerprint < b.Fingerprint
+	})
+	h := sha256.New()
+	for _, rec := range canon {
+		line, err := json.Marshal(rec)
+		if err != nil {
+			// Record marshals from plain value fields; failure here means
+			// the type itself regressed.
+			panic(fmt.Sprintf("telemetry: marshaling canonical record: %v", err))
+		}
+		h.Write(line)
+		h.Write([]byte{'\n'})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

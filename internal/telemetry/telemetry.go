@@ -1,0 +1,324 @@
+// Package telemetry is the simulator's in-run flight recorder: a
+// zero-allocation sampler that snapshots fabric counters every N cycles
+// into a fixed-capacity ring of time-series points, a congestion-event
+// detector (per-class utilization hysteresis, queue growth, watchdog
+// near-stall), a JSONL sidecar that journals one time-series record per
+// run next to the manifest, and an HTTP endpoint that serves the live
+// state in Prometheus text and JSON form.
+//
+// The package is observation-only by contract: a sampler reads fabric
+// state at end of cycle and never writes any, so registering one cannot
+// change simulated behavior — the golden fixtures and the smartlint
+// determinism rules both gate this. Everything recorded is a
+// deterministic function of simulation state (cycle counts, never wall
+// time), so sidecar records are digest-stable across identical runs.
+package telemetry
+
+import (
+	"sync"
+
+	"smart/internal/chanstats"
+	"smart/internal/sim"
+	"smart/internal/wormhole"
+)
+
+// Point is one time-series sample: the fabric's externally meaningful
+// counters at the end of a sampled cycle. All fields are integers read
+// directly from the fabric — derived rates (utilization, throughput) are
+// computed by consumers so the recorded stream stays exact.
+type Point struct {
+	// Cycle is the end-of-cycle timestamp of the sample (the first
+	// sample at cadence N is labeled cycle N).
+	Cycle int64 `json:"cycle"`
+	// Cumulative injection/delivery totals since fabric construction.
+	FlitsInjected  int64 `json:"flits_injected"`
+	FlitsDelivered int64 `json:"flits_delivered"`
+	// Instantaneous occupancy gauges.
+	InFlight      int64 `json:"in_flight"`
+	Queued        int64 `json:"queued"`
+	OccupiedLanes int   `json:"occupied_lanes"`
+	BufferedFlits int   `json:"buffered_flits"`
+	MaxNICQueue   int64 `json:"max_nic_queue"`
+	// Cumulative routing-work and back-pressure counters.
+	HeadersRouted int64 `json:"headers_routed"`
+	CreditStalls  int64 `json:"credit_stalls"`
+	// ClassFlits holds per-channel-class flits moved during the interval
+	// ending at this sample (not cumulative: interval deltas survive the
+	// fabric's warmup-boundary counter reset and difference cleanly
+	// across ring wraparound). Order matches the classifier's Names.
+	ClassFlits []int64 `json:"class_flits,omitempty"`
+}
+
+// RunInfo identifies the run a sampler is recording, echoed into the
+// sidecar record so time series join against manifest records.
+type RunInfo struct {
+	Batch       string  `json:"batch,omitempty"`
+	Index       int     `json:"index"`
+	Label       string  `json:"label,omitempty"`
+	Pattern     string  `json:"pattern,omitempty"`
+	Seed        uint64  `json:"seed"`
+	Load        float64 `json:"load"`
+	Fingerprint string  `json:"fingerprint"`
+}
+
+// Config tunes a sampler. The zero value takes the defaults.
+type Config struct {
+	// Every is the sampling cadence in cycles (default 100).
+	Every int64
+	// RingCap bounds the retained time series (default 512 points; older
+	// points scroll off and are counted as dropped).
+	RingCap int
+	// EventCap bounds the retained event log (default 256).
+	EventCap int
+	// Thresholds tunes the congestion detector.
+	Thresholds Thresholds
+}
+
+func (c Config) withDefaults() Config {
+	if c.Every <= 0 {
+		c.Every = 100
+	}
+	if c.RingCap <= 0 {
+		c.RingCap = 512
+	}
+	if c.EventCap <= 0 {
+		c.EventCap = 256
+	}
+	c.Thresholds = c.Thresholds.withDefaults()
+	return c
+}
+
+// Sampler snapshots one fabric's counters on a fixed cycle cadence. It
+// registers as the last engine stage, so each sample sees the complete
+// end-of-cycle state the oracle's CycleObs would see. All mutable state
+// sits behind a mutex because the HTTP server reads snapshots from a
+// different goroutine than the one running the engine; the engine-side
+// critical section is short (two slice copies) and lock-free when the
+// cycle is off-cadence.
+type Sampler struct {
+	fabric  *wormhole.Fabric
+	engine  *sim.Engine
+	run     RunInfo
+	cfg     Config
+	classes *chanstats.Classes // nil when the topology has no class map
+
+	mu     sync.Mutex
+	ring   *Ring
+	det    *detector
+	events []Event
+	// eventsTotal counts events ever emitted; events keeps the first
+	// EventCap (onset events matter more than late repeats, so the log
+	// keeps the head, unlike the ring which keeps the tail).
+	eventsTotal int
+
+	// Scratch for interval-delta computation, allocated once.
+	prevClass, curClass, deltaClass []int64
+	classUtil                       []float64
+	prevSum                         int64
+	prevProgress                    int64
+
+	done    bool
+	failure string
+}
+
+// NewSampler builds a sampler for the fabric. The engine reference is
+// optional (nil disables watchdog-aware near-stall detection); the
+// classifier is derived from the fabric's topology, silently absent for
+// families without a class structure.
+func NewSampler(f *wormhole.Fabric, e *sim.Engine, run RunInfo, cfg Config) *Sampler {
+	cfg = cfg.withDefaults()
+	classes, err := chanstats.ClassesFor(f.Top)
+	if err != nil {
+		classes = nil
+	}
+	n := 0
+	if classes != nil {
+		n = classes.Len()
+	}
+	ring, err := NewRing(cfg.RingCap, n)
+	if err != nil {
+		panic(err) // unreachable: withDefaults guarantees a positive capacity
+	}
+	return &Sampler{
+		fabric:     f,
+		engine:     e,
+		run:        run,
+		cfg:        cfg,
+		classes:    classes,
+		ring:       ring,
+		det:        newDetector(n, cfg.Thresholds),
+		prevClass:  make([]int64, n),
+		curClass:   make([]int64, n),
+		deltaClass: make([]int64, n),
+		classUtil:  make([]float64, n),
+	}
+}
+
+// Register adds the sampler to the engine as a trailing stage. Call it
+// after the fabric registers its stages so samples see end-of-cycle
+// state.
+func (s *Sampler) Register(e *sim.Engine) {
+	e.RegisterFunc("telemetry", s.tick)
+}
+
+// Every returns the sampling cadence in cycles.
+func (s *Sampler) Every() int64 { return s.cfg.Every }
+
+// ClassNames returns the channel-class labels, nil for classless
+// topologies.
+func (s *Sampler) ClassNames() []string {
+	if s.classes == nil {
+		return nil
+	}
+	return s.classes.Names
+}
+
+// ClassLinks returns the physical channel count of each class, nil for
+// classless topologies.
+func (s *Sampler) ClassLinks() []int64 {
+	if s.classes == nil {
+		return nil
+	}
+	return s.classes.Links
+}
+
+// tick runs once per cycle as an engine stage and samples every
+// cfg.Every cycles. The engine passes the pre-increment cycle index, so
+// the (cycle+1)%every == 0 gate matches the metrics.TimeSeries
+// convention: at cadence 100 the first sample is labeled cycle 100.
+func (s *Sampler) tick(cycle int64) {
+	if (cycle+1)%s.cfg.Every != 0 {
+		return
+	}
+	s.sample(cycle + 1)
+}
+
+// sample reads the fabric and pushes one point. Split from tick so
+// Finish can force a final off-cadence sample.
+func (s *Sampler) sample(cycle int64) {
+	f := s.fabric
+	ctr := f.Counters()
+	g := f.ReadGauges()
+	p := Point{
+		Cycle:          cycle,
+		FlitsInjected:  ctr.FlitsInjected,
+		FlitsDelivered: ctr.FlitsDelivered,
+		InFlight:       f.InFlight(),
+		Queued:         f.QueuedPackets(),
+		OccupiedLanes:  g.OccupiedLanes,
+		BufferedFlits:  g.BufferedFlits,
+		MaxNICQueue:    g.MaxNICQueue,
+		HeadersRouted:  f.HeadersRouted(),
+		CreditStalls:   f.CreditStalls(),
+	}
+
+	if s.classes != nil {
+		s.classes.Accumulate(f.LinkFlits, s.curClass)
+		var sum int64
+		for _, v := range s.curClass {
+			sum += v
+		}
+		// The fabric zeroes linkFlits at the warmup boundary
+		// (ResetLinkStats); a totals decrease means the previous sample's
+		// baseline is gone, so the interval restarts from zero.
+		if sum < s.prevSum {
+			for i := range s.prevClass {
+				s.prevClass[i] = 0
+			}
+		}
+		for i := range s.curClass {
+			s.deltaClass[i] = s.curClass[i] - s.prevClass[i]
+			s.classUtil[i] = s.classes.Utilization(i, s.deltaClass[i], s.cfg.Every)
+		}
+		copy(s.prevClass, s.curClass)
+		s.prevSum = sum
+		p.ClassFlits = s.deltaClass
+	}
+
+	progress := ctr.FlitsInjected + ctr.FlitsDelivered + f.HeadersRouted()
+	o := observation{
+		cycle:      cycle,
+		classUtil:  s.classUtil,
+		queued:     p.Queued,
+		inFlight:   p.InFlight,
+		progressed: progress != s.prevProgress,
+	}
+	s.prevProgress = progress
+	if s.engine != nil {
+		if since, budget, ok := s.engine.WatchState(); ok {
+			o.watchSince, o.watchBudget, o.watched = since, budget, true
+		}
+	}
+
+	s.mu.Lock()
+	s.ring.Push(p)
+	names := s.ClassNames()
+	s.det.observe(o, names, s.emitLocked)
+	s.mu.Unlock()
+}
+
+// emitLocked appends an event under s.mu (the detector calls it
+// synchronously from observe).
+func (s *Sampler) emitLocked(ev Event) {
+	s.eventsTotal++
+	if len(s.events) < s.cfg.EventCap {
+		s.events = append(s.events, ev)
+	}
+}
+
+// NoteStall records a terminal watchdog stall as an event. Call it when
+// a run dies with a sim.StallError.
+func (s *Sampler) NoteStall(st *sim.StallError) {
+	if st == nil {
+		return
+	}
+	s.mu.Lock()
+	s.emitLocked(stallEvent(st.Cycle, st.StalledSince, st.Budget, st.Report))
+	s.mu.Unlock()
+}
+
+// Finish marks the run complete, records the failure reason (empty for
+// success), and forces a final sample at the fabric's current cycle so
+// the series always ends with the run's terminal state even off-cadence.
+func (s *Sampler) Finish(failure string) {
+	var cycle int64
+	if s.engine != nil {
+		cycle = s.engine.Cycle()
+	}
+	s.mu.Lock()
+	done := s.done
+	s.done = true
+	s.failure = failure
+	last := int64(-1)
+	if s.ring.Len() > 0 {
+		last = s.ring.At(s.ring.Len() - 1).Cycle
+	}
+	s.mu.Unlock()
+	if done {
+		return
+	}
+	if cycle > last {
+		s.sample(cycle)
+	}
+}
+
+// Snapshot returns deep copies of the retained time series and event
+// log, oldest first. Safe to call from any goroutine, mid-run or after.
+func (s *Sampler) Snapshot() (points []Point, events []Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	points = s.ring.Snapshot(nil)
+	events = append([]Event(nil), s.events...)
+	return points, events
+}
+
+// Dropped returns how many samples scrolled off the ring and how many
+// events overflowed the log.
+func (s *Sampler) Dropped() (points, events int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ring.Dropped(), s.eventsTotal - len(s.events)
+}
+
+// Run returns the run identity the sampler was built with.
+func (s *Sampler) Run() RunInfo { return s.run }

@@ -202,6 +202,14 @@ type Fabric struct {
 	progress int64 // monotonic: counts flit movements and deliveries
 	cycle    int64
 
+	// Telemetry counters (internal/telemetry samples them; they are not
+	// part of Counters, so the oracle-comparison surface is unchanged):
+	// headersRouted counts routing decisions won, creditStalls counts
+	// send attempts an output lane lost to an exhausted credit count —
+	// the back-pressure signal of §8's descending-channel congestion.
+	headersRouted int64
+	creditStalls  int64
+
 	// linkFlits[pid] counts flits transmitted out of port pid (including
 	// ejection ports); internal/chanstats aggregates it into per-level
 	// and per-dimension channel utilization.
@@ -571,7 +579,11 @@ func (f *Fabric) linkPort(pid int32, cycle int64) {
 		for i := 0; i < n; i++ {
 			l := (start + i) % n
 			ol := &lanes[l]
-			if ol.n == 0 || ol.credits == 0 {
+			if ol.n == 0 {
+				continue
+			}
+			if ol.credits == 0 {
+				f.creditStalls++
 				continue
 			}
 			fl := ol.front()
@@ -778,6 +790,7 @@ func (f *Fabric) routeRouter(r int, cycle int64) {
 			out.boundIn = packRef(p, l)
 			fl.MovedAt = cycle // routing itself takes T_routing = 1 cycle
 			f.Packets[fl.Packet].Hops++
+			f.headersRouted++
 			f.progress++
 			f.dropUnrouted(r)
 			f.xbarActive.add(id)

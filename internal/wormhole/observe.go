@@ -113,6 +113,56 @@ func (d *Digest) Flight(fl Flit, lane int, at int64) {
 // The fabric implements the oracle-comparison interface.
 var _ Observable = (*Fabric)(nil)
 
+// HeadersRouted returns the cumulative count of routing decisions won
+// since construction — the routing stage's useful-work counter.
+func (f *Fabric) HeadersRouted() int64 { return f.headersRouted }
+
+// CreditStalls returns the cumulative count of send attempts an output
+// lane lost to an exhausted credit count: a buffered flit wanted the
+// link but the downstream lane advertised no space. Growth here is the
+// back-pressure signature of congestion spreading upstream.
+func (f *Fabric) CreditStalls() int64 { return f.creditStalls }
+
+// Gauges is a point-in-time occupancy view of the fabric — the cheap
+// subset of Observe used by the live telemetry sampler: no state digest,
+// no per-flit work, just buffer occupancy and queue depth.
+type Gauges struct {
+	// OccupiedLanes counts input and output lanes holding at least one
+	// flit; BufferedFlits totals the flits they hold.
+	OccupiedLanes, BufferedFlits int
+	// MaxNICQueue is the deepest source queue (packets waiting at one
+	// node); NICQueued totals packets across all source queues, part-way
+	// injected packets excluded.
+	MaxNICQueue, NICQueued int64
+}
+
+// ReadGauges walks the lane and NIC arrays densely and returns the
+// occupancy gauges. It allocates nothing; at the telemetry layer's
+// default cadence (every 100 cycles) the walk is far off the hot path.
+func (f *Fabric) ReadGauges() Gauges {
+	var g Gauges
+	for i := range f.in {
+		if n := f.in[i].n; n > 0 {
+			g.OccupiedLanes++
+			g.BufferedFlits += n
+		}
+	}
+	for i := range f.out {
+		if n := f.out[i].n; n > 0 {
+			g.OccupiedLanes++
+			g.BufferedFlits += n
+		}
+	}
+	for n := range f.nics {
+		q := int64(f.nics[n].qlen())
+		g.NICQueued += q
+		if q > g.MaxNICQueue {
+			g.MaxNICQueue = q
+		}
+	}
+	return g
+}
+
 // Observe computes the fabric's canonical end-of-cycle observation. It
 // walks every lane densely — this is verification instrumentation, not a
 // hot path — in (router, port, lane) order, then the arbitration

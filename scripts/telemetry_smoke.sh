@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# Telemetry smoke test: the live-observability acceptance path.
+#
+# 1. Runs a sweep with -metrics-addr and scrapes /metrics and
+#    /telemetry.json mid-run: the endpoint must serve live gauges while
+#    simulations are in flight.
+# 2. Runs a reference sweep with a -timeseries sidecar and validates it
+#    with `telemetry -check`.
+# 3. Interrupts a checkpointed sweep mid-grid, resumes it, and requires
+#    the resumed sidecar to digest identically to the uninterrupted
+#    reference — the sidecar half of the kill-and-resume contract.
+#
+# Usage: scripts/telemetry_smoke.sh [workdir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+work="${1:-$(mktemp -d)}"
+mkdir -p "$work" bin
+
+go build -o bin/sweep ./cmd/sweep
+go build -o bin/telemetry ./cmd/telemetry
+
+net=(-net tree -vcs 2 -k 4 -n 3)
+
+echo "== live endpoint serves mid-run =="
+bin/sweep "${net[@]}" -metrics-addr 127.0.0.1:0 -timeseries "$work/live.jsonl" \
+    >"$work/sweep.out" 2>"$work/sweep.err" &
+pid=$!
+addr=""
+for _ in $(seq 1 50); do
+    addr=$(sed -n 's#.*serving telemetry on http://\([^/]*\)/metrics.*#\1#p' "$work/sweep.err" | head -1)
+    [ -n "$addr" ] && break
+    sleep 0.2
+done
+[ -n "$addr" ] || { echo "telemetry endpoint never came up"; kill "$pid"; exit 1; }
+
+metrics=""
+for _ in $(seq 1 50); do
+    metrics=$(curl -fsS "http://$addr/metrics" || true)
+    if echo "$metrics" | grep -q '^smart_run_flits_injected_total'; then
+        break
+    fi
+    sleep 0.2
+done
+echo "$metrics" | grep -q '^smart_runs_active' || { echo "no smart_runs_active in /metrics"; kill "$pid"; exit 1; }
+echo "$metrics" | grep -q '^smart_run_flits_injected_total' || { echo "no live run counters in /metrics"; kill "$pid"; exit 1; }
+echo "$metrics" | grep -q '^smart_grid_total' || { echo "no grid progress in /metrics"; kill "$pid"; exit 1; }
+snapshot=$(curl -fsS "http://$addr/telemetry.json")
+echo "$snapshot" | grep -q '"runs_active"' || { echo "/telemetry.json malformed"; kill "$pid"; exit 1; }
+echo "scraped live metrics from $addr mid-run"
+wait "$pid"
+bin/telemetry -check "$work/live.jsonl"
+
+echo "== reference sidecar =="
+bin/sweep "${net[@]}" -timeseries "$work/ref.jsonl" > /dev/null
+bin/telemetry -check "$work/ref.jsonl"
+
+echo "== kill-and-resume sidecar =="
+bin/sweep "${net[@]}" -checkpoint "$work/sweep.ckpt" -timeseries "$work/resumed.jsonl" > /dev/null &
+pid=$!
+sleep 2
+kill -INT "$pid"
+wait "$pid" || true
+echo "journal holds $(wc -l < "$work/sweep.ckpt") completed runs, sidecar $(wc -l < "$work/resumed.jsonl") series"
+bin/sweep "${net[@]}" -checkpoint "$work/sweep.ckpt" -resume -timeseries "$work/resumed.jsonl" > /dev/null
+bin/telemetry -check "$work/resumed.jsonl"
+bin/telemetry -digest "$work/ref.jsonl" "$work/resumed.jsonl"
+ref=$(bin/telemetry -digest "$work/ref.jsonl" | cut -d' ' -f1)
+res=$(bin/telemetry -digest "$work/resumed.jsonl" | cut -d' ' -f1)
+test "$ref" = "$res" || { echo "resumed sidecar digest differs from reference"; exit 1; }
+
+echo "telemetry smoke: OK"
