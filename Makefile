@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race cover fuzz bench bench-fabric telemetry-smoke profile experiments quick clean
+.PHONY: all build vet lint test race cover fuzz bench bench-fabric shard-smoke telemetry-smoke profile experiments quick clean
 
 all: build lint test
 
@@ -43,12 +43,23 @@ fuzz:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Fabric hot-path benchmark grid ({tree,cube} x load {0.2,0.6,0.9});
-# appends a record to the committed perf trajectory. Set LABEL to name
-# the revision being measured.
+# Fabric hot-path benchmark grid ({tree,cube} x nodes x shards x load);
+# appends a record to the committed perf trajectory and diffs fabric
+# Counters across the shard counts before timing. Set LABEL to name the
+# revision being measured; override NODES/SHARDS/LOADS for other cells.
 LABEL ?= local
+NODES ?= 256
+SHARDS ?= 1,4
+LOADS ?= 0.2,0.6,0.9
 bench-fabric:
-	$(GO) run ./cmd/benchfabric -label $(LABEL) -o BENCH_fabric.json -append
+	$(GO) run ./cmd/benchfabric -label $(LABEL) -nodes $(NODES) -shards $(SHARDS) -loads $(LOADS) -o BENCH_fabric.json -append
+
+# Sharded-engine determinism gates: the sharded-vs-sequential
+# differential under the race detector, plus the benchfabric
+# cross-shard Counters diff (no file written).
+shard-smoke:
+	$(GO) test -race -run Shard ./internal/...
+	$(GO) run ./cmd/benchfabric -nodes 256 -shards 1,4 -loads 0.6 -o ''
 
 # End-to-end telemetry check: live /metrics scrape mid-sweep, sidecar
 # validation, and the kill-and-resume digest contract. See DESIGN.md §11.

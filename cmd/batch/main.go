@@ -47,6 +47,7 @@ func main() {
 	manifestPath := flag.String("manifest", "", "append one JSONL run record per configuration to this file")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel simulations")
 	scaffold := flag.Bool("scaffold", false, "print a template batch file and exit")
+	shards := flag.Int("shards", 1, "fabric shards per run (0 = auto from network size and GOMAXPROCS; results are bit-identical)")
 	flag.Parse()
 
 	if *scaffold {
@@ -91,7 +92,7 @@ func main() {
 	}
 	ctx, stop := resilience.SignalContext(context.Background())
 	defer stop()
-	opts := core.Options{Logger: obsFlags.Logger(), Context: ctx}
+	opts := core.Options{Logger: obsFlags.Logger(), Context: ctx, Shards: *shards}
 	ckpt, err := resFlags.Open()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "batch:", err)

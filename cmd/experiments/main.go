@@ -55,6 +55,7 @@ func main() {
 	csvDir := flag.String("csvdir", "", "write every series as CSV files into this directory")
 	manifestPath := flag.String("manifest", "", "append one JSONL run record per simulation to this file")
 	selfCheck := flag.Bool("selfcheck", false, "shadow every run with the reference oracle simulator in lockstep (slow; fails at the first divergent cycle)")
+	shards := flag.Int("shards", 1, "fabric shards per run (0 = auto from network size and GOMAXPROCS; results are bit-identical)")
 	flag.Parse()
 
 	step := 0.05
@@ -104,7 +105,7 @@ func main() {
 	}
 	ctx, stop := resilience.SignalContext(context.Background())
 	defer stop()
-	opts := core.Options{Logger: obsFlags.Logger(), Context: ctx, SelfCheck: *selfCheck}
+	opts := core.Options{Logger: obsFlags.Logger(), Context: ctx, SelfCheck: *selfCheck, Shards: *shards}
 	if ckpt, err = resFlags.Open(); err != nil {
 		fatal(err)
 	}

@@ -43,6 +43,7 @@ func main() {
 	flag.IntVar(&cfg.LinkCycles, "linkcycles", 0, "flit flight time per link in cycles (default 1; >1 = pipelined long wires)")
 	flag.BoolVar(&cfg.StoreAndForward, "saf", false, "store-and-forward switching (needs -buf >= packet flits)")
 	util := flag.Bool("util", false, "also print channel utilization by level (tree) or dimension (cube/mesh)")
+	shards := flag.Int("shards", 1, "fabric shards (0 = auto from network size and GOMAXPROCS; results are bit-identical)")
 	flag.Parse()
 	cfg.Network = core.NetworkKind(network)
 	cfg.Algorithm = alg
@@ -69,7 +70,7 @@ func main() {
 		}
 		opts.Telemetry = tel
 	}
-	sm, err := core.NewSimulation(cfg)
+	sm, err := core.NewSimulationShards(cfg, *shards)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "netsim:", err)
 		os.Exit(1)

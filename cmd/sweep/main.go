@@ -75,6 +75,7 @@ func main() {
 	flag.StringVar(&csvPath, "csv", "", "also write the series as CSV to this file")
 	showPlot := flag.Bool("plot", false, "render the two CNF graphs as ASCII charts")
 	selfCheck := flag.Bool("selfcheck", false, "shadow every run with the reference oracle simulator in lockstep (slow; fails at the first divergent cycle)")
+	shards := flag.Int("shards", 1, "fabric shards per run (0 = auto from network size and GOMAXPROCS; results are bit-identical)")
 	flag.Parse()
 	cfg.Network = core.NetworkKind(network)
 	cfg.Algorithm = alg
@@ -101,7 +102,7 @@ func main() {
 	}
 	ctx, stop := resilience.SignalContext(context.Background())
 	defer stop()
-	opts := core.Options{Logger: obsFlags.Logger(), Context: ctx, SelfCheck: *selfCheck}
+	opts := core.Options{Logger: obsFlags.Logger(), Context: ctx, SelfCheck: *selfCheck, Shards: *shards}
 	ckpt, err := resFlags.Open()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)

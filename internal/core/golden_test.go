@@ -69,10 +69,16 @@ func goldenCases() []goldenCase {
 	}
 }
 
-// runGolden executes one case and records its outcome.
+// runGolden executes one case on the sequential engine and records its
+// outcome.
 func runGolden(t *testing.T, gc goldenCase) goldenRecord {
+	return runGoldenShards(t, gc, 1)
+}
+
+// runGoldenShards executes one case at the given shard count.
+func runGoldenShards(t *testing.T, gc goldenCase, shards int) goldenRecord {
 	t.Helper()
-	s, err := NewSimulation(gc.Cfg)
+	s, err := NewSimulationShards(gc.Cfg, shards)
 	if err != nil {
 		t.Fatalf("%s: %v", gc.Name, err)
 	}
@@ -146,6 +152,41 @@ func TestGoldenFabric(t *testing.T) {
 		}
 		if g.Sample != w.Sample {
 			t.Errorf("%s: sample %+v, want %+v", g.Name, g.Sample, w.Sample)
+		}
+	}
+}
+
+// TestShardedGoldenFabric runs every golden configuration on the
+// parallel engine at four shards and compares against the same committed
+// fixtures the sequential engine must reproduce: the shard count must
+// not move a single counter, link-flit cell or sample field.
+func TestShardedGoldenFabric(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden fixtures are full 256-node runs")
+	}
+	buf, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading fixtures (regenerate with -update-golden): %v", err)
+	}
+	var want []goldenRecord
+	if err := json.Unmarshal(buf, &want); err != nil {
+		t.Fatal(err)
+	}
+	cases := goldenCases()
+	if len(want) != len(cases) {
+		t.Fatalf("fixture count %d != case count %d (regenerate with -update-golden)", len(want), len(cases))
+	}
+	for i, gc := range cases {
+		g, w := runGoldenShards(t, gc, 4), want[i]
+		if g.Counters != w.Counters {
+			t.Errorf("%s: sharded counters %+v, want %+v", g.Name, g.Counters, w.Counters)
+		}
+		if g.LinkFlitsSum != w.LinkFlitsSum || g.LinkFlitsHash != w.LinkFlitsHash {
+			t.Errorf("%s: sharded link flits sum=%d hash=%s, want sum=%d hash=%s",
+				g.Name, g.LinkFlitsSum, g.LinkFlitsHash, w.LinkFlitsSum, w.LinkFlitsHash)
+		}
+		if g.Sample != w.Sample {
+			t.Errorf("%s: sharded sample %+v, want %+v", g.Name, g.Sample, w.Sample)
 		}
 	}
 }

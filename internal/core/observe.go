@@ -51,6 +51,14 @@ type Options struct {
 	// run in the JSONL sidecar. Sampling is observation-only — it cannot
 	// change simulated behavior (the golden fixtures pin this).
 	Telemetry *telemetry.Options
+	// Shards partitions each run's fabric for parallel cycle execution:
+	// 1 (and any negative value) is the sequential engine, 0 picks an
+	// automatic count from GOMAXPROCS and the fabric size, larger values
+	// are explicit. Results are bit-identical for every value; the
+	// effective count is recorded in the manifest as a log-only field
+	// that the digest ignores, so checkpoints replay across shard
+	// counts.
+	Shards int
 }
 
 // observed reports whether any observer is attached.
@@ -69,7 +77,7 @@ func RunWith(cfg Config, opts Options) (Result, error) {
 			return replayRun(full, rec, opts)
 		}
 	}
-	s, err := NewSimulation(cfg)
+	s, err := NewSimulationShards(cfg, opts.Shards)
 	if err != nil {
 		if opts.Logger != nil {
 			opts.Logger.Error("simulation assembly failed",
@@ -163,7 +171,7 @@ func (s *Simulation) RunWith(opts Options) (Result, error) {
 		opts.Progress.RunDone(cfg.Load, cycles)
 	}
 	if opts.Manifest != nil || opts.Checkpoint != nil {
-		rec, rerr := runRecord(res, cycles, wall, opts)
+		rec, rerr := runRecord(res, cycles, wall, s.Shards, opts)
 		if rerr == nil && opts.Checkpoint != nil {
 			// Journal before the manifest: a kill between the two writes
 			// must not leave a manifest record the journal forgot.
@@ -200,14 +208,17 @@ func finishTelemetry(sp *telemetry.Sampler, t *telemetry.Options, runErr error) 
 	return nil
 }
 
-// runRecord assembles the manifest line for one completed run.
-func runRecord(res Result, cycles int64, wall time.Duration, opts Options) (obs.RunRecord, error) {
+// runRecord assembles the manifest line for one completed run. The
+// effective shard count is recorded only when the run was actually
+// sharded, so sequential manifests stay byte-identical with earlier
+// versions; either way the field is log-only (the digest zeroes it).
+func runRecord(res Result, cycles int64, wall time.Duration, shards int, opts Options) (obs.RunRecord, error) {
 	cfg := res.Config
 	raw, err := json.Marshal(cfg)
 	if err != nil {
 		return obs.RunRecord{}, err
 	}
-	return obs.RunRecord{
+	rec := obs.RunRecord{
 		Schema:      obs.RunSchema,
 		Batch:       opts.Batch,
 		Index:       opts.Index,
@@ -220,7 +231,11 @@ func runRecord(res Result, cycles int64, wall time.Duration, opts Options) (obs.
 		Sample:      res.Sample,
 		Cycles:      cycles,
 		WallMS:      wallMS(wall),
-	}, nil
+	}
+	if shards > 1 {
+		rec.Shards = shards
+	}
+	return rec, nil
 }
 
 func wallMS(d time.Duration) float64 {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 
 	"smart/internal/cost"
 	"smart/internal/metrics"
@@ -22,6 +23,10 @@ type Simulation struct {
 	Injector *traffic.Injector
 	Engine   *sim.Engine
 	Window   *metrics.Window
+	// Shards is the effective fabric shard count (>= 1). It is an
+	// execution detail — results are bit-identical for every value — so
+	// it lives outside Config and its fingerprint.
+	Shards int
 }
 
 // Result is the measured outcome of one simulation, in both the
@@ -37,8 +42,39 @@ type Result struct {
 	OfferedBitsNS, AcceptedBitsNS, LatencyNS float64
 }
 
-// NewSimulation assembles an experiment from the configuration.
+// NewSimulation assembles an experiment from the configuration, on the
+// sequential single-shard engine.
 func NewSimulation(cfg Config) (*Simulation, error) {
+	return NewSimulationShards(cfg, 1)
+}
+
+// EffectiveShards resolves a requested shard count for a fabric of the
+// given router count: values below zero mean sequential (1), zero means
+// auto — bounded by GOMAXPROCS and by the fabric size, so small networks
+// never pay parallel overhead — and positive values are taken as-is
+// (the fabric still clamps to the router count).
+func EffectiveShards(requested, routers int) int {
+	if requested > 0 {
+		return requested
+	}
+	if requested < 0 {
+		return 1
+	}
+	auto := routers / 1024
+	if max := runtime.GOMAXPROCS(0); auto > max {
+		auto = max
+	}
+	if auto < 1 {
+		auto = 1
+	}
+	return auto
+}
+
+// NewSimulationShards assembles an experiment with the fabric
+// partitioned into the requested number of shards (interpreted by
+// EffectiveShards; the resulting count is in Simulation.Shards). Shard
+// count never changes simulation results — only how cycles execute.
+func NewSimulationShards(cfg Config, shards int) (*Simulation, error) {
 	cfg = cfg.WithDefaults()
 	top, err := cfg.buildTopology()
 	if err != nil {
@@ -87,13 +123,17 @@ func NewSimulation(cfg Config) (*Simulation, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := fabric.SetShards(EffectiveShards(shards, top.Routers())); err != nil {
+		return nil, err
+	}
 	engine := sim.NewEngine()
 	// The traffic process runs first in the cycle so a packet created in
 	// a cycle can begin injecting the same cycle; the fabric then runs
-	// its canonical link / crossbar / routing / injection / credits order.
+	// its canonical link / crossbar / routing / injection / credits order
+	// (fused into the two-phase driver when sharded).
 	inj.Register(engine)
 	fabric.Register(engine)
-	return &Simulation{Config: cfg, Top: top, Fabric: fabric, Injector: inj, Engine: engine, Window: window}, nil
+	return &Simulation{Config: cfg, Top: top, Fabric: fabric, Injector: inj, Engine: engine, Window: window, Shards: fabric.Shards()}, nil
 }
 
 // Run executes the experiment with the paper's methodology and returns

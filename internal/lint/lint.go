@@ -74,6 +74,7 @@ type Loader struct {
 	fset *token.FileSet
 	imp  types.Importer
 
+	//smartlint:allow concurrency — the analyzer is a build tool, not simulator code; guards the export cache
 	mu      sync.Mutex
 	exports map[string]string // import path -> compiled export data file
 }

@@ -126,6 +126,27 @@ func TestRecoverExemptInResilience(t *testing.T) {
 	}
 }
 
+// TestConcurrencyFixture loads the concurrency fixture under an
+// internal/ import path, where the rule applies.
+func TestConcurrencyFixture(t *testing.T) {
+	checkFixture(t, "concurrency", "smart/internal/concurrency")
+}
+
+// TestConcurrencyExemptHomes loads the same fixture under the two
+// sanctioned concurrency homes and outside internal/ entirely: no
+// diagnostics may survive in any of them.
+func TestConcurrencyExemptHomes(t *testing.T) {
+	for _, path := range []string{"smart/internal/sim", "smart/internal/core", "smart/cmd/sweep"} {
+		pkg, err := NewLoader(".").LoadDir(filepath.Join("testdata", "src", "concurrency"), path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diags := Check(pkg); len(diags) != 0 {
+			t.Fatalf("%s should be exempt from concurrency, got %d diagnostics: %v", path, len(diags), diags)
+		}
+	}
+}
+
 // TestInjectedViolation proves the end-to-end failure mode: a fresh
 // package with a contract violation produces a file:line: rule:
 // diagnostic (this is what makes cmd/smartlint exit nonzero).

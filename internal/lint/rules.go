@@ -17,11 +17,12 @@ const (
 	RuleFloatEq      = "floateq"
 	RuleNakedTime    = "naketime"
 	RuleNakedRecover = "nakedrecover"
+	RuleConcurrency  = "concurrency"
 	ruleAllow        = "allow"
 )
 
 // Rules lists the rule names in a fixed presentation order.
-var Rules = []string{RuleMapRange, RuleWallclock, RuleGlobalRand, RuleFloatEq, RuleNakedTime, RuleNakedRecover}
+var Rules = []string{RuleMapRange, RuleWallclock, RuleGlobalRand, RuleFloatEq, RuleNakedTime, RuleNakedRecover, RuleConcurrency}
 
 var knownRules = map[string]bool{
 	RuleMapRange:     true,
@@ -30,6 +31,7 @@ var knownRules = map[string]bool{
 	RuleFloatEq:      true,
 	RuleNakedTime:    true,
 	RuleNakedRecover: true,
+	RuleConcurrency:  true,
 }
 
 // globalRandFns are the math/rand (and math/rand/v2) package-level
@@ -56,6 +58,22 @@ func wallclockExempt(path string) bool {
 // internal/resilience is the designated home for panic isolation.
 func recoverExempt(path string) bool {
 	return path == "internal/resilience" || strings.HasSuffix(path, "/internal/resilience")
+}
+
+// concurrencyExempt reports whether a package may spawn goroutines and
+// use sync primitives directly. internal/sim owns the shard worker
+// pool and internal/core owns the engine lifecycle around it; every
+// other internal package must stay single-threaded (or route through
+// the pool) so the cycle schedule remains deterministic. Packages
+// outside internal/ — commands, tools — are off the simulator hot path
+// and out of scope.
+func concurrencyExempt(path string) bool {
+	for _, home := range []string{"internal/sim", "internal/core"} {
+		if path == home || strings.HasSuffix(path, "/"+home) {
+			return true
+		}
+	}
+	return !strings.Contains(path, "internal/")
 }
 
 // Check runs every rule over the package's non-test files and returns
@@ -117,6 +135,12 @@ func checkFile(pkg *Package, file *ast.File) []Diagnostic {
 					report(n.Pos(), RuleNakedTime,
 						"time.Sleep stalls on wall time: simulation delays are modeled in cycles, not host time")
 				}
+			case "sync":
+				if !concurrencyExempt(pkg.Path) {
+					report(n.Pos(), RuleConcurrency,
+						"sync.%s is a raw synchronization primitive: shard coordination lives in internal/sim (worker pool + barrier) and internal/core; elsewhere it risks a nondeterministic cycle schedule",
+						n.Sel.Name)
+				}
 			case "math/rand", "math/rand/v2":
 				if globalRandFns[n.Sel.Name] {
 					verb := "draws from"
@@ -127,6 +151,11 @@ func checkFile(pkg *Package, file *ast.File) []Diagnostic {
 						"%s.%s %s the shared global RNG: all simulation randomness must flow through the seeded sim RNG (or a local rand.New)",
 						path, n.Sel.Name, verb)
 				}
+			}
+		case *ast.GoStmt:
+			if !concurrencyExempt(pkg.Path) {
+				report(n.Go, RuleConcurrency,
+					"go statement spawns a goroutine outside internal/sim: route simulator concurrency through the sim worker pool so worker count and schedule stay bit-identical")
 			}
 		case *ast.CallExpr:
 			if ident, ok := n.Fun.(*ast.Ident); ok && ident.Name == "recover" {

@@ -1,0 +1,33 @@
+// Package concurrency exercises the concurrency rule: go statements
+// and sync primitives are confined to internal/sim and internal/core.
+// This fixture is loaded under an internal/ import path by the tests;
+// under internal/sim or outside internal/ every diagnostic vanishes.
+package concurrency
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex // want "concurrency: sync.Mutex is a raw synchronization primitive"
+	n  int
+}
+
+func spawn(f func()) {
+	go f() // want "concurrency: go statement spawns a goroutine"
+}
+
+func waitAll(fs []func()) {
+	var wg sync.WaitGroup // want "concurrency: sync.WaitGroup is a raw synchronization primitive"
+	for _, f := range fs {
+		wg.Add(1)
+		go func() { // want "concurrency: go statement spawns a goroutine"
+			defer wg.Done()
+			f()
+		}()
+	}
+	wg.Wait()
+}
+
+func sanctioned(f func()) {
+	//smartlint:allow concurrency — fixture: audited background task
+	go f()
+}

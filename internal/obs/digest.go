@@ -13,7 +13,8 @@ import (
 // when they differ in the two run-dependent ways a resumed or parallel
 // run legitimately introduces: record order (parallel runners finish in
 // wall-clock order) and wall time. Records are sorted by (batch, index,
-// fingerprint, failure), the schema and WallMS fields are zeroed, and
+// fingerprint, failure), the schema, WallMS and Shards fields are zeroed
+// (shard count is an execution detail, not an outcome), and
 // the normalized JSON lines are hashed.
 //
 // This is the equality the checkpoint/resume contract promises: an
@@ -25,6 +26,7 @@ func Digest(recs []RunRecord) string {
 	for i := range canon {
 		canon[i].Schema = ""
 		canon[i].WallMS = 0
+		canon[i].Shards = 0
 	}
 	sort.Slice(canon, func(i, j int) bool {
 		a, b := &canon[i], &canon[j]

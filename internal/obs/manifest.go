@@ -47,6 +47,11 @@ type RunRecord struct {
 	Sample metrics.Sample `json:"sample"`
 	Cycles int64          `json:"cycles"`
 	WallMS float64        `json:"wall_ms"`
+	// Shards is the effective fabric shard count when the run executed
+	// on the parallel engine (omitted for sequential runs). Execution
+	// detail only: results are bit-identical across shard counts, so
+	// Digest zeroes it and checkpoints replay regardless of it.
+	Shards int `json:"shards,omitempty"`
 	// Failure, when non-empty, records why the run produced no sample
 	// (a stall diagnosis, a recovered panic); Sample and Cycles are then
 	// zero. Introduced with smart/run/v2.
@@ -56,6 +61,7 @@ type RunRecord struct {
 // ManifestWriter appends RunRecords to a stream as JSONL, one record
 // per line. Safe for concurrent use by parallel runners.
 type ManifestWriter struct {
+	//smartlint:allow concurrency — manifest appends from parallel runners must serialize; record order is sorted downstream
 	mu  sync.Mutex
 	enc *json.Encoder
 }

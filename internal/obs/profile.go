@@ -18,6 +18,7 @@ import (
 // (e.g. every simulation of a parallel sweep); counters are merged by
 // stage name in the report. All methods are safe for concurrent use.
 type StageProfiler struct {
+	//smartlint:allow concurrency — profiler registration may race with sampler reads; timings are wall-time instrumentation
 	mu     sync.Mutex
 	stages []*timedStage
 }

@@ -26,10 +26,12 @@ type Progress struct {
 	cycles    atomic.Int64
 	lastLoad  atomic.Uint64 // Float64bits of the most recently completed load
 
+	//smartlint:allow concurrency — progress reporting is wall-time instrumentation, outside the deterministic core
 	mu   sync.Mutex // guards w and stop lifecycle
 	w    io.Writer
 	stop chan struct{}
-	wg   sync.WaitGroup
+	//smartlint:allow concurrency — joins the ticker goroutine on Stop
+	wg sync.WaitGroup
 }
 
 // NewProgress prepares a reporter over total expected runs, writing
@@ -128,6 +130,7 @@ func (p *Progress) Start() {
 	p.stop = stop
 	p.wg.Add(1)
 	p.mu.Unlock()
+	//smartlint:allow concurrency — periodic progress printer; reads only atomics, never simulation state
 	go func() {
 		defer p.wg.Done()
 		t := time.NewTicker(p.interval)

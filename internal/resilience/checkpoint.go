@@ -26,6 +26,7 @@ import (
 // and overwritten on the next append. Any other malformed content is an
 // error — a mid-file parse failure means the file is not a checkpoint.
 type Checkpoint struct {
+	//smartlint:allow concurrency — checkpoint appends from parallel runners must serialize; resume sorts by run key
 	mu     sync.Mutex
 	f      *os.File
 	enc    *json.Encoder

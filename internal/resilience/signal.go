@@ -15,6 +15,7 @@ import (
 // the signal registration; call it when the run completes normally.
 func SignalContext(parent context.Context) (context.Context, context.CancelFunc) {
 	ctx, stop := signal.NotifyContext(parent, os.Interrupt, syscall.SIGTERM)
+	//smartlint:allow concurrency — releases the signal registration as soon as the context ends
 	go func() {
 		<-ctx.Done()
 		stop()

@@ -18,20 +18,17 @@ import (
 type Duato struct {
 	cube *topology.Cube
 	// tie rotates the starting point of the candidate scan per router for
-	// fair tie-breaking among equally loaded adaptive ports.
+	// fair tie-breaking among equally loaded adaptive ports. Entry r is
+	// only touched while routing at router r, so a sharded fabric's
+	// workers never contend on it.
 	tie []int
-	// portBuf is the candidate scratch buffer; a fabric calls Route from
-	// a single goroutine, so reusing it avoids a per-decision allocation
-	// on the simulator's hottest path.
-	portBuf []int
 }
 
 // NewDuato returns the adaptive cube algorithm.
 func NewDuato(cube *topology.Cube) *Duato {
 	return &Duato{
-		cube:    cube,
-		tie:     make([]int, cube.Routers()),
-		portBuf: make([]int, 0, 2*cube.N),
+		cube: cube,
+		tie:  make([]int, cube.Routers()),
 	}
 }
 
@@ -52,8 +49,11 @@ func (a *Duato) Route(f wormhole.Router, r, inPort, inLane int, pkt wormhole.Pac
 
 	// Adaptive channels first: any output port on a minimal path, scored
 	// by the number of free adaptive lanes, scan origin rotated for
-	// fairness.
-	ports := minimalPorts(a.cube, r, dst, a.portBuf[:0])
+	// fairness. The candidate scratch lives on the stack (2*N is at most
+	// 80 for any cube topology.Pow admits) so concurrent Route calls
+	// from a sharded fabric's workers share no buffer.
+	var pbuf [80]int
+	ports := minimalPorts(a.cube, r, dst, pbuf[:0])
 	start := a.tie[r]
 	a.tie[r]++
 	bestPort, bestFree := -1, 0

@@ -1,0 +1,114 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Pool is the reusable barrier/worker pool behind the sharded fabric
+// engine: a fixed set of workers that execute one function per worker
+// and rendezvous at a barrier before Run returns. The calling goroutine
+// is worker 0, so a 1-worker pool spawns nothing and Run degenerates to
+// a plain call — the sequential path pays no synchronization.
+//
+// Run is a full barrier: every effect of fn(w) on any worker
+// happens-before Run returns (the workers' completion signals
+// synchronize with the caller), so a two-phase cycle — compute on all
+// workers, Run returns, commit on all workers — needs no further
+// synchronization as long as each phase partitions its writes by
+// worker.
+//
+// This package and internal/core are the only homes for concurrency
+// primitives in the simulator (smartlint's concurrency rule enforces
+// it): simulation state must be advanced either on one goroutine or
+// through a Pool's phase barriers, never with ad-hoc goroutines.
+type Pool struct {
+	inner *poolInner
+}
+
+// poolInner carries the state shared with the worker goroutines. It is
+// split from Pool so the workers keep only inner alive: when the last
+// Pool reference is dropped, the finalizer closes the work channels and
+// the workers exit, so an un-Closed pool (a garbage-collected Fabric)
+// does not leak goroutines.
+type poolInner struct {
+	work []chan func(int)
+	wg   sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewPool returns a pool of the given worker count (at least 1).
+// Workers beyond the first are persistent goroutines; they idle between
+// Run calls and exit at Close (or when the pool is collected).
+func NewPool(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	inner := &poolInner{}
+	p := &Pool{inner: inner}
+	if workers == 1 {
+		return p
+	}
+	inner.work = make([]chan func(int), workers-1)
+	for w := 1; w < workers; w++ {
+		ch := make(chan func(int))
+		inner.work[w-1] = ch
+		go func(w int, ch chan func(int)) {
+			for fn := range ch {
+				fn(w)
+				inner.wg.Done()
+			}
+		}(w, ch)
+	}
+	runtime.SetFinalizer(p, func(p *Pool) { p.inner.close() })
+	return p
+}
+
+// Workers returns the pool's worker count.
+func (p *Pool) Workers() int { return len(p.inner.work) + 1 }
+
+// Run executes fn(w) for every worker index w in [0, Workers()) — fn(0)
+// on the calling goroutine — and returns after all calls complete.
+// fn must partition its writes by worker index; Run provides the
+// inter-phase barrier, not intra-phase isolation.
+func (p *Pool) Run(fn func(worker int)) {
+	inner := p.inner
+	inner.wg.Add(len(inner.work))
+	for _, ch := range inner.work {
+		ch <- fn
+	}
+	fn(0)
+	inner.wg.Wait()
+}
+
+// RunSerial executes fn(w) for every worker index in order on the
+// calling goroutine — the same work as Run with a deterministic serial
+// schedule. The sharded fabric uses it when a Tracer is attached, so
+// callback order stays reproducible.
+func (p *Pool) RunSerial(fn func(worker int)) {
+	for w := 0; w < p.Workers(); w++ {
+		fn(w)
+	}
+}
+
+// Close shuts the worker goroutines down. The pool must not be used
+// afterwards. Close is idempotent and also runs via finalizer when a
+// pool is garbage-collected without an explicit Close.
+func (p *Pool) Close() {
+	runtime.SetFinalizer(p, nil)
+	p.inner.close()
+}
+
+func (pi *poolInner) close() {
+	pi.mu.Lock()
+	defer pi.mu.Unlock()
+	if pi.closed {
+		return
+	}
+	pi.closed = true
+	for _, ch := range pi.work {
+		close(ch)
+	}
+}

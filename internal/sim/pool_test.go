@@ -1,0 +1,76 @@
+package sim
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestShardPoolRunVisitsEveryWorker(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8} {
+		p := NewPool(workers)
+		if p.Workers() != workers {
+			t.Fatalf("NewPool(%d).Workers() = %d", workers, p.Workers())
+		}
+		visited := make([]int64, workers)
+		for round := 0; round < 100; round++ {
+			p.Run(func(w int) { atomic.AddInt64(&visited[w], 1) })
+		}
+		for w, n := range visited {
+			if n != 100 {
+				t.Fatalf("workers=%d: worker %d ran %d times, want 100", workers, w, n)
+			}
+		}
+		p.Close()
+	}
+}
+
+// TestShardPoolBarrier checks Run's happens-before contract: writes made
+// by every worker in one phase are visible to every worker in the next
+// phase without further synchronization.
+func TestShardPoolBarrier(t *testing.T) {
+	const workers = 4
+	p := NewPool(workers)
+	defer p.Close()
+	staged := make([]int, workers)
+	total := make([]int, workers)
+	for round := 1; round <= 50; round++ {
+		p.Run(func(w int) { staged[w] = round * (w + 1) })
+		p.Run(func(w int) {
+			// Each worker sums every other worker's staged value —
+			// cross-worker reads that are only safe across the barrier.
+			s := 0
+			for _, v := range staged {
+				s += v
+			}
+			total[w] = s
+		})
+		want := round * workers * (workers + 1) / 2
+		for w := 0; w < workers; w++ {
+			if total[w] != want {
+				t.Fatalf("round %d: worker %d saw staged sum %d, want %d", round, w, total[w], want)
+			}
+		}
+	}
+}
+
+func TestShardPoolRunSerialOrder(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var order []int
+	p.RunSerial(func(w int) { order = append(order, w) })
+	if len(order) != 4 {
+		t.Fatalf("RunSerial visited %d workers, want 4", len(order))
+	}
+	for w, got := range order {
+		if got != w {
+			t.Fatalf("RunSerial order %v, want ascending", order)
+		}
+	}
+}
+
+func TestShardPoolCloseIdempotent(t *testing.T) {
+	p := NewPool(3)
+	p.Run(func(int) {})
+	p.Close()
+	p.Close() // second close must not panic
+}

@@ -19,6 +19,7 @@ import (
 // attach order (never map iteration), so two scrapes of the same state
 // produce identical bodies.
 type Server struct {
+	//smartlint:allow concurrency — HTTP handlers run on net/http goroutines; the mutex guards sampler registration
 	mu       sync.Mutex
 	samplers []*Sampler
 	progress *obs.Progress
@@ -91,6 +92,7 @@ func (s *Server) Serve(addr string) (net.Listener, error) {
 		return nil, fmt.Errorf("telemetry: listening on %s: %w", addr, err)
 	}
 	srv := &http.Server{Handler: s.Handler()}
+	//smartlint:allow concurrency — the metrics listener must serve while the simulation loop runs
 	go srv.Serve(ln)
 	return ln, nil
 }

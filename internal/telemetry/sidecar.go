@@ -75,6 +75,7 @@ func RecordOf(s *Sampler) Record {
 // each run's series exactly once. The file tolerates the same torn tail
 // the checkpoint journal does.
 type Sidecar struct {
+	//smartlint:allow concurrency — telemetry sidecar is off the cycle path; the mutex serializes writer access
 	mu     sync.Mutex
 	f      *os.File
 	enc    *json.Encoder

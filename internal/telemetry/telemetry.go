@@ -102,6 +102,7 @@ type Sampler struct {
 	cfg     Config
 	classes *chanstats.Classes // nil when the topology has no class map
 
+	//smartlint:allow concurrency — guards ring/detector state read by the metrics server, off the cycle path
 	mu     sync.Mutex
 	ring   *Ring
 	det    *detector

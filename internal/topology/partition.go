@@ -1,0 +1,89 @@
+package topology
+
+import "fmt"
+
+// Partitioner is implemented by topologies that can cut their router
+// index range into contiguous shards along structural boundaries, so a
+// sharded fabric engine crosses shards on as few links as possible.
+// PartitionRouters returns shards+1 ascending cut points over
+// [0, Routers()]: shard i owns routers [cuts[i], cuts[i+1]). Cuts may
+// produce empty shards when the structure cannot be divided further.
+type Partitioner interface {
+	PartitionRouters(shards int) []int
+}
+
+// EvenCuts is the structure-blind fallback partition: shards contiguous
+// router ranges of near-equal size.
+func EvenCuts(routers, shards int) []int {
+	if shards < 1 {
+		shards = 1
+	}
+	cuts := make([]int, shards+1)
+	for i := 0; i <= shards; i++ {
+		cuts[i] = i * routers / shards
+	}
+	return cuts
+}
+
+// alignedCuts spreads routers over shards with every cut snapped to a
+// multiple of grain, keeping cuts ascending and covering [0, routers].
+// grain must divide routers.
+func alignedCuts(routers, shards, grain int) []int {
+	blocks := routers / grain
+	cuts := make([]int, shards+1)
+	for i := 0; i <= shards; i++ {
+		cuts[i] = (i * blocks / shards) * grain
+	}
+	cuts[shards] = routers
+	return cuts
+}
+
+// partitionGrain picks the largest structural block size (a power of k
+// dividing blockMax) that still allows about one block per shard, so
+// cuts land on structural boundaries whenever the shard count permits.
+func partitionGrain(routers, shards, blockMax, k int) int {
+	grain := blockMax
+	for grain > 1 && routers/grain < shards {
+		grain /= k
+	}
+	return grain
+}
+
+// PartitionRouters implements Partitioner for the cube: shards are
+// slabs of whole (n-1)-dimensional planes along the highest dimension
+// (the router layout is digit-major, so a plane is a contiguous index
+// range and only the two slab faces carry cross-shard links). When
+// there are more shards than planes the slabs subdivide along the next
+// dimension down.
+func (c *Cube) PartitionRouters(shards int) []int {
+	grain := partitionGrain(c.nodes, shards, c.nodes/c.K, c.K)
+	return alignedCuts(c.nodes, shards, grain)
+}
+
+// PartitionRouters implements Partitioner for the tree. Switch indices
+// are level-major (level l occupies [l*spl, (l+1)*spl)), so contiguous
+// shards cannot hold whole subtrees; instead the cuts snap to label
+// blocks of size k^floor(log_k(spl/shards)) within each level — sibling
+// groups that share parents — which keeps most up/down links inside a
+// shard when the shard count is small relative to the arity.
+func (t *Tree) PartitionRouters(shards int) []int {
+	grain := partitionGrain(t.Routers(), shards, t.spl, t.K)
+	return alignedCuts(t.Routers(), shards, grain)
+}
+
+// ValidateCuts checks that cuts is a well-formed shard plan over
+// [0, routers]: shards+1 ascending values from 0 to routers.
+func ValidateCuts(cuts []int, routers, shards int) error {
+	if len(cuts) != shards+1 {
+		return fmt.Errorf("topology: partition has %d cut points, want %d", len(cuts), shards+1)
+	}
+	if cuts[0] != 0 || cuts[shards] != routers {
+		return fmt.Errorf("topology: partition spans [%d, %d], want [0, %d]", cuts[0], cuts[shards], routers)
+	}
+	for i := 0; i < shards; i++ {
+		if cuts[i] > cuts[i+1] {
+			return fmt.Errorf("topology: partition cuts %d and %d out of order (%d > %d)", i, i+1, cuts[i], cuts[i+1])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,95 @@
+package topology
+
+import "testing"
+
+func TestShardEvenCuts(t *testing.T) {
+	for _, tc := range []struct{ routers, shards int }{
+		{16, 1}, {16, 4}, {17, 4}, {3, 8}, {100, 7},
+	} {
+		cuts := EvenCuts(tc.routers, tc.shards)
+		if err := ValidateCuts(cuts, tc.routers, tc.shards); err != nil {
+			t.Fatalf("EvenCuts(%d, %d) = %v: %v", tc.routers, tc.shards, cuts, err)
+		}
+		// Near-equal: no shard more than one router larger than another.
+		lo, hi := tc.routers, 0
+		for i := 0; i < tc.shards; i++ {
+			n := cuts[i+1] - cuts[i]
+			if n < lo {
+				lo = n
+			}
+			if n > hi {
+				hi = n
+			}
+		}
+		if hi-lo > 1 {
+			t.Fatalf("EvenCuts(%d, %d) = %v: shard sizes range [%d, %d]", tc.routers, tc.shards, cuts, lo, hi)
+		}
+	}
+}
+
+// TestShardCubePartitionPlanes checks the torus plan: with shards
+// dividing K, every cut lands on a whole (n-1)-dimensional plane of the
+// digit-major layout.
+func TestShardCubePartitionPlanes(t *testing.T) {
+	c, err := NewCube(8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plane := c.Routers() / c.K // 64 routers per top-dimension plane
+	for _, shards := range []int{2, 4, 8} {
+		cuts := c.PartitionRouters(shards)
+		if err := ValidateCuts(cuts, c.Routers(), shards); err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		for i := 1; i < shards; i++ {
+			if cuts[i]%plane != 0 {
+				t.Fatalf("shards=%d: cut %d at %d is not plane-aligned (plane %d)", shards, i, cuts[i], plane)
+			}
+		}
+	}
+	// More shards than planes: cuts must still be valid, now subdividing
+	// planes.
+	cuts := c.PartitionRouters(16)
+	if err := ValidateCuts(cuts, c.Routers(), 16); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardTreePartitionLabelBlocks checks the tree plan: cuts snap to
+// sibling-group label blocks within each level.
+func TestShardTreePartitionLabelBlocks(t *testing.T) {
+	tr, err := NewTree(4, 3) // 64 nodes, spl=16, 48 switches
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{2, 3, 4, 6} {
+		cuts := tr.PartitionRouters(shards)
+		if err := ValidateCuts(cuts, tr.Routers(), shards); err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		// With at most spl/k shards, the grain is at least one sibling
+		// group (k switches), so every cut is a multiple of k.
+		if shards <= 4 {
+			for i := 1; i < shards; i++ {
+				if cuts[i]%tr.K != 0 {
+					t.Fatalf("shards=%d: cut %d at %d not aligned to sibling groups of %d", shards, i, cuts[i], tr.K)
+				}
+			}
+		}
+	}
+}
+
+func TestShardValidateCutsRejectsMalformed(t *testing.T) {
+	if err := ValidateCuts([]int{0, 4, 8}, 8, 3); err == nil {
+		t.Fatal("wrong cut count accepted")
+	}
+	if err := ValidateCuts([]int{1, 4, 8}, 8, 2); err == nil {
+		t.Fatal("plan not starting at 0 accepted")
+	}
+	if err := ValidateCuts([]int{0, 4, 7}, 8, 2); err == nil {
+		t.Fatal("plan not covering all routers accepted")
+	}
+	if err := ValidateCuts([]int{0, 5, 4, 8}, 8, 3); err == nil {
+		t.Fatal("descending cuts accepted")
+	}
+}

@@ -1,53 +1,57 @@
 package wormhole
 
-// denseSet is an unordered set over a fixed integer universe [0, n) with
-// O(1) add, remove and membership, backed by a swap-remove slice plus a
-// position index. The fabric's per-cycle work lists (active output
-// ports, bound input lanes, routers presenting unrouted headers, busy
-// NICs, occupied wires) are denseSets: stages iterate items instead of
-// scanning the whole network, and the mutation points of the underlying
-// state keep membership current. Iteration order is arbitrary but
-// deterministic (it depends only on the add/remove history, never on map
-// or pointer order), which keeps simulations reproducible; the fabric's
-// stages are written so their outcome is independent of that order.
+// denseSet is an unordered set over a fixed integer universe
+// [base, base+n) with O(1) add, remove and membership, backed by a
+// swap-remove slice plus a position index. The fabric's per-cycle work
+// lists (active output ports, bound input lanes, routers presenting
+// unrouted headers, busy NICs, occupied wires) are denseSets: stages
+// iterate items instead of scanning the whole network, and the mutation
+// points of the underlying state keep membership current. Each shard
+// owns one set per work list whose universe is the shard's contiguous
+// index range, so the sets partition the fabric with no per-shard
+// memory overhead. Iteration order is arbitrary but deterministic (it
+// depends only on the add/remove history, never on map or pointer
+// order), which keeps simulations reproducible; the fabric's stages are
+// written so their outcome is independent of that order.
 type denseSet struct {
 	items []int32
-	pos   []int32 // pos[v] is the index of v in items, -1 when absent
+	pos   []int32 // pos[v-base] is the index of v in items, -1 when absent
+	base  int32
 }
 
-// newDenseSet returns an empty set over [0, n).
-func newDenseSet(n int) denseSet {
+// newDenseSet returns an empty set over [base, base+n).
+func newDenseSet(base, n int) denseSet {
 	pos := make([]int32, n)
 	for i := range pos {
 		pos[i] = -1
 	}
-	return denseSet{pos: pos}
+	return denseSet{pos: pos, base: int32(base)}
 }
 
 // contains reports membership of v.
-func (s *denseSet) contains(v int32) bool { return s.pos[v] >= 0 }
+func (s *denseSet) contains(v int32) bool { return s.pos[v-s.base] >= 0 }
 
 // add inserts v; inserting a member is a no-op.
 func (s *denseSet) add(v int32) {
-	if s.pos[v] >= 0 {
+	if s.pos[v-s.base] >= 0 {
 		return
 	}
-	s.pos[v] = int32(len(s.items))
+	s.pos[v-s.base] = int32(len(s.items))
 	s.items = append(s.items, v)
 }
 
 // remove deletes v by swapping the last item into its slot; removing a
 // non-member is a no-op.
 func (s *denseSet) remove(v int32) {
-	p := s.pos[v]
+	p := s.pos[v-s.base]
 	if p < 0 {
 		return
 	}
 	last := s.items[len(s.items)-1]
 	s.items[p] = last
-	s.pos[last] = p
+	s.pos[last-s.base] = p
 	s.items = s.items[:len(s.items)-1]
-	s.pos[v] = -1
+	s.pos[v-s.base] = -1
 }
 
 // len returns the number of members.

@@ -3,7 +3,7 @@ package wormhole
 import "testing"
 
 func TestDenseSetBasics(t *testing.T) {
-	s := newDenseSet(8)
+	s := newDenseSet(0, 8)
 	if s.len() != 0 {
 		t.Fatalf("new set has %d members", s.len())
 	}
@@ -33,7 +33,7 @@ func TestDenseSetBasics(t *testing.T) {
 }
 
 func TestDenseSetSwapRemoveConsistency(t *testing.T) {
-	s := newDenseSet(64)
+	s := newDenseSet(0, 64)
 	for v := int32(0); v < 64; v += 2 {
 		s.add(v)
 	}
@@ -61,34 +61,34 @@ func TestDenseSetSwapRemoveConsistency(t *testing.T) {
 func TestInjectedWorkListCorruptionDetected(t *testing.T) {
 	f, _ := loadedFabric(t)
 	// Drop an active port from the link work list.
-	if f.linkActive.len() == 0 {
+	if f.shards[0].linkActive.len() == 0 {
 		t.Fatal("fixture has no active ports")
 	}
-	pid := f.linkActive.items[0]
-	f.linkActive.remove(pid)
+	pid := f.shards[0].linkActive.items[0]
+	f.shards[0].linkActive.remove(pid)
 	err := f.CheckInvariants()
 	if err == nil {
 		t.Fatal("link work-list corruption not detected")
 	}
-	f.linkActive.add(pid)
+	f.shards[0].linkActive.add(pid)
 	if err := f.CheckInvariants(); err != nil {
 		t.Fatalf("fixture unhealthy after restore: %v", err)
 	}
 
 	// Corrupt the queued-packet counter.
-	f.queued++
+	f.shards[0].queued++
 	if err := f.CheckInvariants(); err == nil {
 		t.Fatal("queued-counter corruption not detected")
 	}
-	f.queued--
+	f.shards[0].queued--
 
 	// Drop a router from the routing work list, if any are pending.
-	if f.routeActive.len() > 0 {
-		r := f.routeActive.items[0]
-		f.routeActive.remove(r)
+	if f.shards[0].routeActive.len() > 0 {
+		r := f.shards[0].routeActive.items[0]
+		f.shards[0].routeActive.remove(r)
 		if err := f.CheckInvariants(); err == nil {
 			t.Fatal("routing work-list corruption not detected")
 		}
-		f.routeActive.add(r)
+		f.shards[0].routeActive.add(r)
 	}
 }

@@ -127,6 +127,15 @@ type Counters struct {
 	FlitsDelivered   int64
 }
 
+// add accumulates other into c.
+func (c *Counters) add(other Counters) {
+	c.PacketsCreated += other.PacketsCreated
+	c.PacketsInjected += other.PacketsInjected
+	c.PacketsDelivered += other.PacketsDelivered
+	c.FlitsInjected += other.FlitsInjected
+	c.FlitsDelivered += other.FlitsDelivered
+}
+
 // Fabric is a complete simulated network: topology, routers, NICs and the
 // packet table, advanced one cycle at a time by the stages it registers on
 // a sim.Engine.
@@ -142,6 +151,13 @@ type Counters struct {
 // points where occupancy, binding and queue state change, so each stage's
 // cost scales with the traffic actually moving rather than with the
 // network size. See DESIGN.md ("Hot path") for the membership invariants.
+//
+// The fabric is always partitioned into one or more shards — contiguous
+// router ranges, each with its own work lists, deferred-credit lists and
+// counters (shard.go). The default single shard covers everything and
+// runs the classic sequential stages; SetShards(s > 1) arms the two-phase
+// parallel driver, which is bit-identical to the sequential schedule
+// (DESIGN.md §12).
 type Fabric struct {
 	Top topology.Topology
 	Cfg Config
@@ -150,7 +166,9 @@ type Fabric struct {
 	// algorithms may mutate RouteBits; everything else is owned by the
 	// fabric.
 	Packets []PacketInfo
-	// Tracer, when non-nil, observes routing and delivery events.
+	// Tracer, when non-nil, observes routing and delivery events. A
+	// sharded fabric with a Tracer runs its phases on the serial
+	// schedule so callbacks never fire concurrently.
 	Tracer Tracer
 
 	// Flattened router state. Ports are addressed by pid = r*deg + p;
@@ -167,48 +185,30 @@ type Fabric struct {
 	outOff []int32
 
 	// Round-robin arbitration pointers: routeRR indexes a router's
-	// input-lane scan range, linkRR a port's output lanes.
+	// input-lane scan range, linkRR a port's output lanes. Global arrays
+	// indexed by router/port, so each entry has exactly one owning
+	// shard.
 	routeRR []int32
 	linkRR  []int32
 
-	// Active-set work lists. Membership invariants (checked by
-	// CheckInvariants):
-	//   linkActive:  ports with portOcc > 0 occupied output lanes
-	//   xbarActive:  input lanes with bound != noRef and n > 0
-	//   routeActive: routers with unrouted > 0 lanes (n > 0, unbound)
-	//   nicActive:   NICs with queued or part-injected packets
-	//   wireActive:  ports with flits in flight (LinkCycles > 1 only)
-	linkActive  denseSet
-	portOcc     []int32
-	xbarActive  denseSet
-	routeActive denseSet
-	unrouted    []int32
-	nicActive   denseSet
-	wireActive  denseSet
-	// scratch snapshots one work list at a stage's entry so membership
-	// updates during the stage cannot disturb the iteration.
-	scratch []int32
+	// Per-entry occupancy behind the shards' work lists: portOcc[pid]
+	// counts occupied output lanes, unrouted[r] input lanes presenting
+	// an unrouted header. Each entry is owned by the shard owning its
+	// router.
+	portOcc  []int32
+	unrouted []int32
 
 	nics []nic
 
-	// Deferred credit returns, applied at the end of the cycle to model
-	// the one-cycle ack lines.
-	pendingCredits []laneRefAt
-	pendingNIC     []int32
+	// Sharding (shard.go): shards[i] owns routers
+	// [shards[i].rLo, shards[i].rHi); routerShard and nodeShard map an
+	// index to its owning shard. Always at least one shard.
+	shards      []shardState
+	routerShard []int32
+	nodeShard   []int32
+	pool        *sim.Pool
 
-	counters Counters
-	inFlight int64 // flits injected but not yet delivered
-	queued   int64 // packets in source queues or part-way through injection
-	progress int64 // monotonic: counts flit movements and deliveries
-	cycle    int64
-
-	// Telemetry counters (internal/telemetry samples them; they are not
-	// part of Counters, so the oracle-comparison surface is unchanged):
-	// headersRouted counts routing decisions won, creditStalls counts
-	// send attempts an output lane lost to an exhausted credit count —
-	// the back-pressure signal of §8's descending-channel congestion.
-	headersRouted int64
-	creditStalls  int64
+	cycle int64
 
 	// linkFlits[pid] counts flits transmitted out of port pid (including
 	// ejection ports); internal/chanstats aggregates it into per-level
@@ -242,11 +242,19 @@ func (w *wireFIFO) empty() bool { return w.head >= len(w.q) }
 
 func (w *wireFIFO) front() *flight { return &w.q[w.head] }
 
+// pop removes and returns the front flight. The consumed prefix is
+// reclaimed when the queue empties, and compacted once it dominates the
+// backing array, so a wire that never quite drains under sustained load
+// does not retain unbounded dead storage.
 func (w *wireFIFO) pop() flight {
 	f := w.q[w.head]
 	w.head++
 	if w.head == len(w.q) {
 		w.q = w.q[:0]
+		w.head = 0
+	} else if w.head >= 256 && w.head*2 >= len(w.q) {
+		n := copy(w.q, w.q[w.head:])
+		w.q = w.q[:n]
 		w.head = 0
 	}
 	return f
@@ -274,7 +282,9 @@ func laneCounts(kind topology.PortKind, cfg Config) (inN, outN int) {
 }
 
 // NewFabric assembles a fabric over the given topology. The routing
-// algorithm's virtual-channel requirement must match cfg.VCs.
+// algorithm's virtual-channel requirement must match cfg.VCs. The fabric
+// starts with a single shard — the sequential path; SetShards enables
+// parallel execution.
 func NewFabric(top topology.Topology, cfg Config, alg RoutingAlgorithm) (*Fabric, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -331,17 +341,11 @@ func NewFabric(top topology.Topology, cfg Config, alg RoutingAlgorithm) (*Fabric
 	f.routeRR = make([]int32, routers)
 	f.linkRR = make([]int32, nPorts)
 	f.linkFlits = make([]int64, nPorts)
-
-	f.linkActive = newDenseSet(nPorts)
 	f.portOcc = make([]int32, nPorts)
-	f.xbarActive = newDenseSet(int(inTotal))
-	f.routeActive = newDenseSet(routers)
 	f.unrouted = make([]int32, routers)
-	f.nicActive = newDenseSet(top.Nodes())
 
 	if cfg.LinkCycles > 1 {
 		f.wires = make([]wireFIFO, nPorts)
-		f.wireActive = newDenseSet(nPorts)
 	}
 
 	f.nics = make([]nic, top.Nodes())
@@ -352,6 +356,9 @@ func NewFabric(top topology.Topology, cfg Config, alg RoutingAlgorithm) (*Fabric
 		}
 		at := top.NodeAttach(n)
 		f.nics[n] = nic{lanes: lanes, base: f.inOff[at.Router*deg+at.Port]}
+	}
+	if err := f.initShards([]int{0, routers}); err != nil {
+		return nil, err
 	}
 	return f, nil
 }
@@ -368,19 +375,25 @@ func (f *Fabric) inLanesOf(pid int) []inLane { return f.in[f.inOff[pid]:f.inOff[
 // outLanesOf returns the output lanes of port pid.
 func (f *Fabric) outLanesOf(pid int) []outLane { return f.out[f.outOff[pid]:f.outOff[pid+1]] }
 
-// Register installs the fabric's pipeline stages on the engine in the
-// canonical order: link transfer, crossbar transfer, routing, injection,
-// credit commit. A traffic generator should be registered between routing
-// and injection (or anywhere before injection) so packets created in a
-// cycle can start injecting the same cycle. When Cfg.WatchdogCycles is
-// positive the fabric is also installed as the engine's no-progress
-// watchdog target.
+// Register installs the fabric's pipeline on the engine. With a single
+// shard that is the canonical stage sequence — link transfer, crossbar
+// transfer, routing, injection, credit commit; with more it is the fused
+// two-phase parallel driver, which advances the same stages per shard
+// and lands cross-shard traffic after a barrier (bit-identical either
+// way). A traffic generator should be registered before the fabric so
+// packets created in a cycle can start injecting the same cycle. When
+// Cfg.WatchdogCycles is positive the fabric is also installed as the
+// engine's no-progress watchdog target.
 func (f *Fabric) Register(e *sim.Engine) {
-	e.RegisterFunc("link", f.linkStage)
-	e.RegisterFunc("crossbar", f.crossbarStage)
-	e.RegisterFunc("routing", f.routingStage)
-	e.RegisterFunc("injection", f.injectionStage)
-	e.RegisterFunc("credits", f.creditStage)
+	if len(f.shards) > 1 {
+		e.RegisterFunc("fabric", f.parallelCycle)
+	} else {
+		e.RegisterFunc("link", f.linkStage)
+		e.RegisterFunc("crossbar", f.crossbarStage)
+		e.RegisterFunc("routing", f.routingStage)
+		e.RegisterFunc("injection", f.injectionStage)
+		e.RegisterFunc("credits", f.creditStage)
+	}
 	if f.Cfg.WatchdogCycles > 0 {
 		e.Watch(f.Cfg.WatchdogCycles, f)
 	}
@@ -389,8 +402,14 @@ func (f *Fabric) Register(e *sim.Engine) {
 // The fabric is the routing algorithms' canonical state view.
 var _ Router = (*Fabric)(nil)
 
-// Counters returns a snapshot of the running totals.
-func (f *Fabric) Counters() Counters { return f.counters }
+// Counters returns a snapshot of the running totals, summed over shards.
+func (f *Fabric) Counters() Counters {
+	var c Counters
+	for i := range f.shards {
+		c.add(f.shards[i].counters)
+	}
+	return c
+}
 
 // Nodes returns the number of processing nodes attached to the fabric.
 func (f *Fabric) Nodes() int { return f.Top.Nodes() }
@@ -404,18 +423,33 @@ func (f *Fabric) PacketRecords() []PacketInfo { return f.Packets }
 
 // InFlight returns the number of flits currently inside the network
 // (injected but not delivered).
-func (f *Fabric) InFlight() int64 { return f.inFlight }
+func (f *Fabric) InFlight() int64 {
+	var n int64
+	for i := range f.shards {
+		n += f.shards[i].inFlight
+	}
+	return n
+}
 
 // QueuedPackets returns the total number of packets waiting in source
-// queues or part-way through injection. It is O(1): the fabric keeps the
-// count current at enqueue and at tail injection.
-func (f *Fabric) QueuedPackets() int64 { return f.queued }
+// queues or part-way through injection. The count is kept current at
+// enqueue and at tail injection, so reading it is O(shards).
+func (f *Fabric) QueuedPackets() int64 {
+	var n int64
+	for i := range f.shards {
+		n += f.shards[i].queued
+	}
+	return n
+}
 
 // Drained reports whether no traffic remains anywhere: source queues,
-// injection streams and the network itself are all empty. It is O(1), so
-// per-cycle drain stop conditions cost nothing.
+// injection streams and the network itself are all empty. It is
+// O(shards), so per-cycle drain stop conditions cost nothing. The
+// per-shard terms must be summed before testing: injection counts a
+// flit on its source's shard and delivery subtracts it on its
+// destination's, so individual shard deltas are signed.
 func (f *Fabric) Drained() bool {
-	return f.inFlight == 0 && f.queued == 0
+	return f.InFlight() == 0 && f.QueuedPackets() == 0
 }
 
 // EnqueuePacket creates a packet from src to dst at the given cycle and
@@ -431,10 +465,11 @@ func (f *Fabric) EnqueuePacket(src, dst int, cycle int64) PacketID {
 		Src: int32(src), Dst: int32(dst), Flits: int32(f.Cfg.PacketFlits),
 		CreatedAt: cycle, InjectedAt: -1, HeadAt: -1, TailAt: -1,
 	})
+	sh := &f.shards[f.nodeShard[src]]
 	f.nics[src].queue = append(f.nics[src].queue, id)
-	f.queued++
-	f.nicActive.add(int32(src))
-	f.counters.PacketsCreated++
+	sh.queued++
+	sh.nicActive.add(int32(src))
+	sh.counters.PacketsCreated++
 	return id
 }
 
@@ -470,10 +505,10 @@ func (f *Fabric) FreeLanes(r, port, lo, hi int) int {
 	return free
 }
 
-// pushIn places a flit into input lane id. A lane transitioning from
-// empty enters the crossbar work list (if it is bound to an output) or
-// becomes a routing candidate (if not).
-func (f *Fabric) pushIn(id int32, fl Flit) {
+// pushIn places a flit into input lane id, which must belong to sh. A
+// lane transitioning from empty enters the crossbar work list (if it is
+// bound to an output) or becomes a routing candidate (if not).
+func (f *Fabric) pushIn(sh *shardState, id int32, fl Flit) {
 	il := &f.in[id]
 	wasEmpty := il.n == 0
 	il.push(fl)
@@ -481,37 +516,51 @@ func (f *Fabric) pushIn(id int32, fl Flit) {
 		return
 	}
 	if il.bound != noRef {
-		f.xbarActive.add(id)
+		sh.xbarActive.add(id)
 	} else {
-		f.addUnrouted(int(il.router))
+		f.addUnrouted(sh, int(il.router))
 	}
+}
+
+// sendIn lands a flit in input lane id of router peer: directly when the
+// router belongs to sh, through the destination shard's mailbox
+// otherwise (committed after the phase barrier, in ascending
+// source-shard order). Either way the flit is invisible to this cycle's
+// crossbar and routing stages — its MovedAt stamp equals the current
+// cycle — so deferral does not change the simulation.
+func (f *Fabric) sendIn(sh *shardState, peer int, id int32, fl Flit) {
+	if d := f.routerShard[peer]; int(d) != sh.id {
+		sh.mailFlits[d] = append(sh.mailFlits[d], arrival{lane: id, fl: fl})
+		return
+	}
+	f.pushIn(sh, id, fl)
 }
 
 // addUnrouted records that one more input lane of router r presents an
 // unrouted header.
-func (f *Fabric) addUnrouted(r int) {
+func (f *Fabric) addUnrouted(sh *shardState, r int) {
 	f.unrouted[r]++
 	if f.unrouted[r] == 1 {
-		f.routeActive.add(int32(r))
+		sh.routeActive.add(int32(r))
 	}
 }
 
 // dropUnrouted records that an input lane of router r stopped presenting
 // an unrouted header (it was bound, or drained).
-func (f *Fabric) dropUnrouted(r int) {
+func (f *Fabric) dropUnrouted(sh *shardState, r int) {
 	f.unrouted[r]--
 	if f.unrouted[r] == 0 {
-		f.routeActive.remove(int32(r))
+		sh.routeActive.remove(int32(r))
 	}
 }
 
 // pushOut places a flit into output lane ol of port pid, activating the
 // port's link arbitration when the lane transitions from empty.
-func (f *Fabric) pushOut(pid int32, ol *outLane, fl Flit) {
+func (f *Fabric) pushOut(sh *shardState, pid int32, ol *outLane, fl Flit) {
 	if ol.n == 0 {
 		f.portOcc[pid]++
 		if f.portOcc[pid] == 1 {
-			f.linkActive.add(pid)
+			sh.linkActive.add(pid)
 		}
 	}
 	ol.push(fl)
@@ -519,56 +568,64 @@ func (f *Fabric) pushOut(pid int32, ol *outLane, fl Flit) {
 
 // popOut removes the front flit of output lane ol of port pid,
 // deactivating the port when its last occupied lane drains.
-func (f *Fabric) popOut(pid int32, ol *outLane) Flit {
+func (f *Fabric) popOut(sh *shardState, pid int32, ol *outLane) Flit {
 	fl := ol.pop()
 	if ol.n == 0 {
 		f.portOcc[pid]--
 		if f.portOcc[pid] == 0 {
-			f.linkActive.remove(pid)
+			sh.linkActive.remove(pid)
 		}
 	}
 	return fl
 }
 
 // pushWire enqueues a flight on port pid's pipelined wire.
-func (f *Fabric) pushWire(pid int32, fl flight) {
+func (f *Fabric) pushWire(sh *shardState, pid int32, fl flight) {
 	w := &f.wires[pid]
 	if w.empty() {
-		f.wireActive.add(pid)
+		sh.wireActive.add(pid)
 	}
 	w.push(fl)
 }
 
-// linkStage moves at most one flit per physical channel direction: for
+// linkStage is the sequential driver for the link stage; linkShard has
+// the semantics.
+func (f *Fabric) linkStage(cycle int64) {
+	f.cycle = cycle
+	for i := range f.shards {
+		f.linkShard(&f.shards[i], cycle)
+	}
+}
+
+// linkShard moves at most one flit per physical channel direction: for
 // every output port holding buffered flits it fair-arbitrates among the
 // lanes holding a flit that has a credit, and transfers the winner to the
 // same-numbered input lane of the neighbouring switch (or delivers it,
 // for ejection channels). Ports with no buffered flits are never
 // visited: at light load the stage walks the active work list; once the
-// list covers half the ports a sequential index-order sweep is cheaper
-// (better locality), and because per-port decisions are mutually
+// list covers half the shard's ports a sequential index-order sweep is
+// cheaper (better locality), and because per-port decisions are mutually
 // independent the two orders produce identical results.
-func (f *Fabric) linkStage(cycle int64) {
-	f.cycle = cycle
+func (f *Fabric) linkShard(sh *shardState, cycle int64) {
 	if f.wires != nil {
-		f.commitWireArrivals(cycle)
+		f.commitWireArrivals(sh, cycle)
 	}
-	if 2*f.linkActive.len() >= len(f.portOcc) {
-		for pid := range f.portOcc {
+	if 2*sh.linkActive.len() >= sh.pHi-sh.pLo {
+		for pid := sh.pLo; pid < sh.pHi; pid++ {
 			if f.portOcc[pid] > 0 {
-				f.linkPort(int32(pid), cycle)
+				f.linkPort(sh, int32(pid), cycle)
 			}
 		}
 		return
 	}
-	f.scratch = append(f.scratch[:0], f.linkActive.items...)
-	for _, pid := range f.scratch {
-		f.linkPort(pid, cycle)
+	sh.scratch = append(sh.scratch[:0], sh.linkActive.items...)
+	for _, pid := range sh.scratch {
+		f.linkPort(sh, pid, cycle)
 	}
 }
 
 // linkPort arbitrates and advances one output port for the cycle.
-func (f *Fabric) linkPort(pid int32, cycle int64) {
+func (f *Fabric) linkPort(sh *shardState, pid int32, cycle int64) {
 	port := &f.ports[pid]
 	lanes := f.outLanesOf(int(pid))
 	n := len(lanes)
@@ -583,24 +640,24 @@ func (f *Fabric) linkPort(pid int32, cycle int64) {
 				continue
 			}
 			if ol.credits == 0 {
-				f.creditStalls++
+				sh.creditStalls++
 				continue
 			}
 			fl := ol.front()
 			if fl.MovedAt >= cycle {
 				continue
 			}
-			moved := f.popOut(pid, ol)
+			moved := f.popOut(sh, pid, ol)
 			moved.MovedAt = cycle
 			ol.credits--
 			if f.wires != nil {
-				f.pushWire(pid, flight{fl: moved, lane: int16(l), at: cycle + int64(f.Cfg.LinkCycles) - 1})
+				f.pushWire(sh, pid, flight{fl: moved, lane: int16(l), at: cycle + int64(f.Cfg.LinkCycles) - 1})
 			} else {
-				f.pushIn(peerBase+int32(l), moved)
+				f.sendIn(sh, port.Peer, peerBase+int32(l), moved)
 			}
 			f.linkRR[pid] = int32((l + 1) % n)
 			f.linkFlits[pid]++
-			f.progress++
+			sh.progress++
 			break
 		}
 	case topology.PortNode:
@@ -616,16 +673,16 @@ func (f *Fabric) linkPort(pid int32, cycle int64) {
 			if fl.MovedAt >= cycle {
 				continue
 			}
-			moved := f.popOut(pid, ol)
+			moved := f.popOut(sh, pid, ol)
 			if f.wires != nil {
 				moved.MovedAt = cycle
-				f.pushWire(pid, flight{fl: moved, lane: int16(l), at: cycle + int64(f.Cfg.LinkCycles) - 1})
+				f.pushWire(sh, pid, flight{fl: moved, lane: int16(l), at: cycle + int64(f.Cfg.LinkCycles) - 1})
 			} else {
-				f.deliver(moved, cycle)
+				f.deliver(sh, moved, cycle)
 			}
 			f.linkRR[pid] = int32((l + 1) % n)
 			f.linkFlits[pid]++
-			f.progress++
+			sh.progress++
 			break
 		}
 	}
@@ -633,11 +690,12 @@ func (f *Fabric) linkPort(pid int32, cycle int64) {
 
 // commitWireArrivals lands every in-flight flit whose flight time has
 // elapsed: into the neighbour's input lane (the credit consumed at send
-// time reserved the slot) or, on ejection wires, into the destination
-// NIC. Only wires with flits in flight are visited.
-func (f *Fabric) commitWireArrivals(cycle int64) {
-	f.scratch = append(f.scratch[:0], f.wireActive.items...)
-	for _, pid := range f.scratch {
+// time reserved the slot; cross-shard lanes go through the mailbox) or,
+// on ejection wires, into the destination NIC, which always shares the
+// sending router's shard. Only wires with flits in flight are visited.
+func (f *Fabric) commitWireArrivals(sh *shardState, cycle int64) {
+	sh.scratch = append(sh.scratch[:0], sh.wireActive.items...)
+	for _, pid := range sh.scratch {
 		w := &f.wires[pid]
 		port := &f.ports[pid]
 		for !w.empty() && w.front().at <= cycle {
@@ -646,22 +704,24 @@ func (f *Fabric) commitWireArrivals(cycle int64) {
 			case topology.PortRouter:
 				arrived := fl.fl
 				arrived.MovedAt = fl.at
-				f.pushIn(f.inOff[port.Peer*f.deg+port.PeerPort]+int32(fl.lane), arrived)
+				f.sendIn(sh, port.Peer, f.inOff[port.Peer*f.deg+port.PeerPort]+int32(fl.lane), arrived)
 			case topology.PortNode:
-				f.deliver(fl.fl, fl.at)
+				f.deliver(sh, fl.fl, fl.at)
 			}
-			f.progress++
+			sh.progress++
 		}
 		if w.empty() {
-			f.wireActive.remove(pid)
+			sh.wireActive.remove(pid)
 		}
 	}
 }
 
 // deliver records the arrival of a flit at its destination NIC. Wormhole
 // switching must deliver each packet's flits exactly once and in order;
-// the fabric asserts it on every flit.
-func (f *Fabric) deliver(fl Flit, cycle int64) {
+// the fabric asserts it on every flit. The ejection port and its NIC
+// belong to sh, and a packet is only ever in flight toward one
+// destination, so its record is written by exactly one shard.
+func (f *Fabric) deliver(sh *shardState, fl Flit, cycle int64) {
 	pk := &f.Packets[fl.Packet]
 	if fl.Seq != pk.deliverNext {
 		panic(fmt.Sprintf("wormhole: packet %d delivered flit %d out of order (expected %d)", fl.Packet, fl.Seq, pk.deliverNext))
@@ -675,41 +735,49 @@ func (f *Fabric) deliver(fl Flit, cycle int64) {
 	}
 	if fl.Kind.IsTail() {
 		pk.TailAt = cycle
-		f.counters.PacketsDelivered++
+		sh.counters.PacketsDelivered++
 		if f.Tracer != nil {
 			f.Tracer.PacketDelivered(cycle, fl.Packet)
 		}
 	}
-	f.counters.FlitsDelivered++
-	f.inFlight--
+	sh.counters.FlitsDelivered++
+	sh.inFlight--
 }
 
-// crossbarStage moves flits from bound input lanes into their allocated
+// crossbarStage is the sequential driver for the crossbar stage;
+// xbarShard has the semantics.
+func (f *Fabric) crossbarStage(cycle int64) {
+	for i := range f.shards {
+		f.xbarShard(&f.shards[i], cycle)
+	}
+}
+
+// xbarShard moves flits from bound input lanes into their allocated
 // output lanes — one flit per lane per cycle, any number of lanes in
 // parallel ("multiple virtual channels can be active at the input and
 // output ports of the crossbar", §4) — and sends the credit back to the
 // upstream switch. The tail flit's passage releases both bindings. Only
 // lanes on the bound-and-occupied work list are visited — by index-order
-// sweep once the list covers half the lanes (better locality); per-lane
-// moves are independent because every output lane has exactly one bound
-// input, so iteration order cannot change the outcome.
-func (f *Fabric) crossbarStage(cycle int64) {
-	if 2*f.xbarActive.len() >= len(f.in) {
-		for id := range f.in {
+// sweep once the list covers half the shard's lanes (better locality);
+// per-lane moves are independent because every output lane has exactly
+// one bound input, so iteration order cannot change the outcome.
+func (f *Fabric) xbarShard(sh *shardState, cycle int64) {
+	if 2*sh.xbarActive.len() >= int(sh.inHi-sh.inLo) {
+		for id := sh.inLo; id < sh.inHi; id++ {
 			if il := &f.in[id]; il.n > 0 && il.bound != noRef {
-				f.xbarLane(int32(id), cycle)
+				f.xbarLane(sh, id, cycle)
 			}
 		}
 		return
 	}
-	f.scratch = append(f.scratch[:0], f.xbarActive.items...)
-	for _, id := range f.scratch {
-		f.xbarLane(id, cycle)
+	sh.scratch = append(sh.scratch[:0], sh.xbarActive.items...)
+	for _, id := range sh.scratch {
+		f.xbarLane(sh, id, cycle)
 	}
 }
 
 // xbarLane advances one bound input lane through the crossbar.
-func (f *Fabric) xbarLane(id int32, cycle int64) {
+func (f *Fabric) xbarLane(sh *shardState, id int32, cycle int64) {
 	il := &f.in[id]
 	if il.n == 0 || il.bound == noRef {
 		return
@@ -727,38 +795,42 @@ func (f *Fabric) xbarLane(id int32, cycle int64) {
 	}
 	moved := il.pop()
 	moved.MovedAt = cycle
-	f.pushOut(opid, ol, moved)
-	f.progress++
+	f.pushOut(sh, opid, ol, moved)
+	sh.progress++
 	if moved.Kind.IsTail() {
 		il.bound = noRef
 		ol.boundIn = noRef
-		f.xbarActive.remove(id)
+		sh.xbarActive.remove(id)
 		if il.n > 0 {
 			// The next packet's header is already buffered behind
 			// the departed tail: the lane presents it for routing.
-			f.addUnrouted(r)
+			f.addUnrouted(sh, r)
 		}
 	} else if il.n == 0 {
-		f.xbarActive.remove(id)
+		sh.xbarActive.remove(id)
 	}
 	// Ack to the upstream side: a buffer slot was released in
-	// this input lane.
+	// this input lane. A router peer may live in another shard, so the
+	// ack goes to that shard's mailbox; a NIC peer is attached to this
+	// router and is always shard-local.
 	port := &f.ports[r*f.deg+int(il.port)]
 	switch port.Kind {
 	case topology.PortRouter:
-		f.pendingCredits = append(f.pendingCredits, laneRefAt{
-			router: int32(port.Peer),
-			ref:    packRef(port.PeerPort, int(il.lane)),
-		})
+		cr := laneRefAt{router: int32(port.Peer), ref: packRef(port.PeerPort, int(il.lane))}
+		if d := f.routerShard[port.Peer]; int(d) != sh.id {
+			sh.mailCredits[d] = append(sh.mailCredits[d], cr)
+		} else {
+			sh.pendingCredits = append(sh.pendingCredits, cr)
+		}
 	case topology.PortNode:
-		f.pendingNIC = append(f.pendingNIC, int32(port.Peer)*packRadix+int32(il.lane))
+		sh.pendingNIC = append(sh.pendingNIC, int32(port.Peer)*packRadix+int32(il.lane))
 	}
 }
 
 // routeRouter gives router r its one routing decision for the cycle: a
 // round-robin scan over the router's contiguous input-lane range, in the
 // same (port, lane) order a dense per-port scan would use.
-func (f *Fabric) routeRouter(r int, cycle int64) {
+func (f *Fabric) routeRouter(sh *shardState, r int, cycle int64) {
 	base := f.inOff[r*f.deg]
 	n := int(f.inOff[(r+1)*f.deg] - base)
 	for i := 0; i < n; i++ {
@@ -790,10 +862,10 @@ func (f *Fabric) routeRouter(r int, cycle int64) {
 			out.boundIn = packRef(p, l)
 			fl.MovedAt = cycle // routing itself takes T_routing = 1 cycle
 			f.Packets[fl.Packet].Hops++
-			f.headersRouted++
-			f.progress++
-			f.dropUnrouted(r)
-			f.xbarActive.add(id)
+			sh.headersRouted++
+			sh.progress++
+			f.dropUnrouted(sh, r)
+			sh.xbarActive.add(id)
 			if f.Tracer != nil {
 				f.Tracer.HeaderRouted(cycle, fl.Packet, r, p, l, op, ol)
 			}
@@ -802,57 +874,73 @@ func (f *Fabric) routeRouter(r int, cycle int64) {
 	}
 }
 
-// routingStage routes at most one header per switch per cycle (§4): a
+// routingStage is the sequential driver for the routing stage;
+// routeShard has the semantics.
+func (f *Fabric) routingStage(cycle int64) {
+	for i := range f.shards {
+		f.routeShard(&f.shards[i], cycle)
+	}
+}
+
+// routeShard routes at most one header per switch per cycle (§4): a
 // round-robin arbiter picks the next input lane presenting an unrouted
 // header and asks the routing algorithm for an output lane. On success
 // the lanes are bound; on failure the cycle is spent and the arbiter
 // moves on, so a blocked header cannot starve the others. Only routers
 // with at least one presented header are visited (index-order sweep once
-// half the routers qualify); routing decisions are per-router local, so
-// the visiting order is immaterial.
-func (f *Fabric) routingStage(cycle int64) {
+// half the shard's routers qualify); routing decisions are per-router
+// local, so the visiting order is immaterial.
+func (f *Fabric) routeShard(sh *shardState, cycle int64) {
 	if f.Cfg.RouteEvery > 1 && cycle%int64(f.Cfg.RouteEvery) != 0 {
 		return
 	}
-	if 2*f.routeActive.len() >= len(f.unrouted) {
-		for r := range f.unrouted {
+	if 2*sh.routeActive.len() >= sh.rHi-sh.rLo {
+		for r := sh.rLo; r < sh.rHi; r++ {
 			if f.unrouted[r] > 0 {
-				f.routeRouter(r, cycle)
+				f.routeRouter(sh, r, cycle)
 			}
 		}
 		return
 	}
-	f.scratch = append(f.scratch[:0], f.routeActive.items...)
-	for _, r32 := range f.scratch {
-		f.routeRouter(int(r32), cycle)
+	sh.scratch = append(sh.scratch[:0], sh.routeActive.items...)
+	for _, r32 := range sh.scratch {
+		f.routeRouter(sh, int(r32), cycle)
 	}
 }
 
-// injectionStage advances the NIC injection streams: each stream pushes
+// injectionStage is the sequential driver for the injection stage;
+// injectShard has the semantics.
+func (f *Fabric) injectionStage(cycle int64) {
+	for i := range f.shards {
+		f.injectShard(&f.shards[i], cycle)
+	}
+}
+
+// injectShard advances the NIC injection streams: each stream pushes
 // the next flit of its current packet into the router's injection lane
 // when a credit is available, and picks up the next queued packet after
 // the tail leaves. Network latency is measured from the cycle the header
 // enters the injection lane. Only NICs with pending traffic are visited
-// (index-order sweep once half of them qualify; NICs are mutually
-// independent, so order is immaterial); a NIC leaves the active list
-// when its queue and streams empty.
-func (f *Fabric) injectionStage(cycle int64) {
-	if 2*f.nicActive.len() >= len(f.nics) {
-		for n := range f.nics {
-			if f.nicActive.contains(int32(n)) {
-				f.injectNIC(int32(n), cycle)
+// (index-order sweep once half the shard's NICs qualify; NICs are
+// mutually independent, so order is immaterial); a NIC leaves the active
+// list when its queue and streams empty.
+func (f *Fabric) injectShard(sh *shardState, cycle int64) {
+	if 2*sh.nicActive.len() >= sh.nHi-sh.nLo {
+		for n := sh.nLo; n < sh.nHi; n++ {
+			if sh.nicActive.contains(int32(n)) {
+				f.injectNIC(sh, int32(n), cycle)
 			}
 		}
 		return
 	}
-	f.scratch = append(f.scratch[:0], f.nicActive.items...)
-	for _, n32 := range f.scratch {
-		f.injectNIC(n32, cycle)
+	sh.scratch = append(sh.scratch[:0], sh.nicActive.items...)
+	for _, n32 := range sh.scratch {
+		f.injectNIC(sh, n32, cycle)
 	}
 }
 
 // injectNIC advances every injection stream of one NIC for the cycle.
-func (f *Fabric) injectNIC(n32 int32, cycle int64) {
+func (f *Fabric) injectNIC(sh *shardState, n32 int32, cycle int64) {
 	nc := &f.nics[n32]
 	for l := range nc.lanes {
 		st := &nc.lanes[l]
@@ -874,21 +962,21 @@ func (f *Fabric) injectNIC(n32 int32, cycle int64) {
 		if st.nextSeq == pk.Flits-1 {
 			kind |= FlitTail
 		}
-		f.pushIn(nc.base+int32(l), Flit{
+		f.pushIn(sh, nc.base+int32(l), Flit{
 			Packet: st.cur, Seq: st.nextSeq, MovedAt: cycle, Kind: kind,
 		})
 		st.credit--
-		f.counters.FlitsInjected++
-		f.inFlight++
-		f.progress++
+		sh.counters.FlitsInjected++
+		sh.inFlight++
+		sh.progress++
 		if st.nextSeq == 0 {
 			pk.InjectedAt = cycle
-			f.counters.PacketsInjected++
+			sh.counters.PacketsInjected++
 		}
 		st.nextSeq++
 		if kind.IsTail() {
 			st.cur = NoPacket
-			f.queued--
+			sh.queued--
 		}
 	}
 	if nc.qlen() == 0 {
@@ -900,24 +988,27 @@ func (f *Fabric) injectNIC(n32 int32, cycle int64) {
 			}
 		}
 		if idle {
-			f.nicActive.remove(n32)
+			sh.nicActive.remove(n32)
 		}
 	}
 }
 
-// creditStage commits the cycle's deferred credit returns (the ack lines
-// take one cycle).
+// creditStage is the sequential driver for the credit commit; creditShard
+// has the semantics.
 func (f *Fabric) creditStage(cycle int64) {
-	for _, c := range f.pendingCredits {
-		p, l := c.ref.unpack()
-		ol := f.outLaneAt(int(c.router), p, l)
-		ol.credits++
-		if int(ol.credits) > f.Cfg.BufDepth {
-			panic("wormhole: credit overflow")
-		}
+	for i := range f.shards {
+		f.creditShard(&f.shards[i])
 	}
-	f.pendingCredits = f.pendingCredits[:0]
-	for _, c := range f.pendingNIC {
+}
+
+// creditShard commits the cycle's deferred credit returns for one shard
+// (the ack lines take one cycle).
+func (f *Fabric) creditShard(sh *shardState) {
+	for _, c := range sh.pendingCredits {
+		f.applyCredit(c)
+	}
+	sh.pendingCredits = sh.pendingCredits[:0]
+	for _, c := range sh.pendingNIC {
 		node, lane := int(c)/packRadix, int(c)%packRadix
 		st := &f.nics[node].lanes[lane]
 		st.credit++
@@ -925,7 +1016,17 @@ func (f *Fabric) creditStage(cycle int64) {
 			panic("wormhole: NIC credit overflow")
 		}
 	}
-	f.pendingNIC = f.pendingNIC[:0]
+	sh.pendingNIC = sh.pendingNIC[:0]
+}
+
+// applyCredit returns one buffer slot to the addressed output lane.
+func (f *Fabric) applyCredit(c laneRefAt) {
+	p, l := c.ref.unpack()
+	ol := f.outLaneAt(int(c.router), p, l)
+	ol.credits++
+	if int(ol.credits) > f.Cfg.BufDepth {
+		panic("wormhole: credit overflow")
+	}
 }
 
 // LinkFlits returns the number of flits transmitted out of router r's
@@ -947,10 +1048,20 @@ func (f *Fabric) ResetLinkStats() {
 // work list agrees with a dense recomputation of its membership
 // predicate.
 func (f *Fabric) CheckInvariants() error {
-	// Count pending acks per (router, out lane).
+	// Count pending acks per (router, out lane), including acks still in
+	// cross-shard mailboxes (empty between cycles, but CheckInvariants
+	// should not depend on that).
 	pending := map[laneRefAt]int{}
-	for _, c := range f.pendingCredits {
-		pending[c]++
+	for si := range f.shards {
+		sh := &f.shards[si]
+		for _, c := range sh.pendingCredits {
+			pending[c]++
+		}
+		for _, box := range sh.mailCredits {
+			for _, c := range box {
+				pending[c]++
+			}
+		}
 	}
 	for r := 0; r < f.Top.Routers(); r++ {
 		for p := 0; p < f.deg; p++ {
@@ -999,72 +1110,75 @@ func (f *Fabric) CheckInvariants() error {
 	return f.checkWorkLists()
 }
 
-// checkWorkLists verifies that every incremental work list matches a
-// dense recomputation of its membership predicate. The work lists are
-// pure acceleration state: any disagreement means a stage would skip (or
-// double-visit) live traffic.
+// checkWorkLists verifies that every shard's incremental work lists match
+// a dense recomputation of their membership predicates over the shard's
+// ranges. The work lists are pure acceleration state: any disagreement
+// means a stage would skip (or double-visit) live traffic.
 func (f *Fabric) checkWorkLists() error {
-	for pid := range f.portOcc {
-		var occ int32
-		for _, ol := range f.outLanesOf(pid) {
-			if ol.n > 0 {
-				occ++
-			}
-		}
-		if occ != f.portOcc[pid] {
-			return fmt.Errorf("wormhole: port %d occupancy count %d, want %d", pid, f.portOcc[pid], occ)
-		}
-		if (occ > 0) != f.linkActive.contains(int32(pid)) {
-			return fmt.Errorf("wormhole: port %d link work-list membership %v disagrees with occupancy %d", pid, f.linkActive.contains(int32(pid)), occ)
-		}
-	}
-	for id := range f.in {
-		il := &f.in[id]
-		want := il.bound != noRef && il.n > 0
-		if want != f.xbarActive.contains(int32(id)) {
-			return fmt.Errorf("wormhole: input lane %d (router %d port %d lane %d) crossbar work-list membership %v, want %v",
-				id, il.router, il.port, il.lane, !want, want)
-		}
-	}
-	for r := 0; r < f.Top.Routers(); r++ {
-		var cand int32
-		base := f.inOff[r*f.deg]
-		for id := base; id < f.inOff[(r+1)*f.deg]; id++ {
-			if f.in[id].n > 0 && f.in[id].bound == noRef {
-				cand++
-			}
-		}
-		if cand != f.unrouted[r] {
-			return fmt.Errorf("wormhole: router %d unrouted count %d, want %d", r, f.unrouted[r], cand)
-		}
-		if (cand > 0) != f.routeActive.contains(int32(r)) {
-			return fmt.Errorf("wormhole: router %d routing work-list membership %v disagrees with %d candidates", r, f.routeActive.contains(int32(r)), cand)
-		}
-	}
 	var queued int64
-	for n := range f.nics {
-		nc := &f.nics[n]
-		work := nc.qlen() > 0
-		queued += int64(nc.qlen())
-		for l := range nc.lanes {
-			if nc.lanes[l].cur != NoPacket {
-				work = true
-				queued++
+	for si := range f.shards {
+		sh := &f.shards[si]
+		for pid := sh.pLo; pid < sh.pHi; pid++ {
+			var occ int32
+			for _, ol := range f.outLanesOf(pid) {
+				if ol.n > 0 {
+					occ++
+				}
+			}
+			if occ != f.portOcc[pid] {
+				return fmt.Errorf("wormhole: port %d occupancy count %d, want %d", pid, f.portOcc[pid], occ)
+			}
+			if (occ > 0) != sh.linkActive.contains(int32(pid)) {
+				return fmt.Errorf("wormhole: port %d link work-list membership %v disagrees with occupancy %d", pid, sh.linkActive.contains(int32(pid)), occ)
 			}
 		}
-		if work && !f.nicActive.contains(int32(n)) {
-			return fmt.Errorf("wormhole: NIC %d has pending traffic but is not on the injection work list", n)
-		}
-	}
-	if queued != f.queued {
-		return fmt.Errorf("wormhole: queued-packet counter %d, want %d", f.queued, queued)
-	}
-	if f.wires != nil {
-		for pid := range f.wires {
-			if (!f.wires[pid].empty()) != f.wireActive.contains(int32(pid)) {
-				return fmt.Errorf("wormhole: wire %d work-list membership %v disagrees with occupancy", pid, f.wireActive.contains(int32(pid)))
+		for id := sh.inLo; id < sh.inHi; id++ {
+			il := &f.in[id]
+			want := il.bound != noRef && il.n > 0
+			if want != sh.xbarActive.contains(id) {
+				return fmt.Errorf("wormhole: input lane %d (router %d port %d lane %d) crossbar work-list membership %v, want %v",
+					id, il.router, il.port, il.lane, !want, want)
 			}
 		}
+		for r := sh.rLo; r < sh.rHi; r++ {
+			var cand int32
+			base := f.inOff[r*f.deg]
+			for id := base; id < f.inOff[(r+1)*f.deg]; id++ {
+				if f.in[id].n > 0 && f.in[id].bound == noRef {
+					cand++
+				}
+			}
+			if cand != f.unrouted[r] {
+				return fmt.Errorf("wormhole: router %d unrouted count %d, want %d", r, f.unrouted[r], cand)
+			}
+			if (cand > 0) != sh.routeActive.contains(int32(r)) {
+				return fmt.Errorf("wormhole: router %d routing work-list membership %v disagrees with %d candidates", r, sh.routeActive.contains(int32(r)), cand)
+			}
+		}
+		for n := sh.nLo; n < sh.nHi; n++ {
+			nc := &f.nics[n]
+			work := nc.qlen() > 0
+			queued += int64(nc.qlen())
+			for l := range nc.lanes {
+				if nc.lanes[l].cur != NoPacket {
+					work = true
+					queued++
+				}
+			}
+			if work && !sh.nicActive.contains(int32(n)) {
+				return fmt.Errorf("wormhole: NIC %d has pending traffic but is not on the injection work list", n)
+			}
+		}
+		if f.wires != nil {
+			for pid := sh.pLo; pid < sh.pHi; pid++ {
+				if (!f.wires[pid].empty()) != sh.wireActive.contains(int32(pid)) {
+					return fmt.Errorf("wormhole: wire %d work-list membership %v disagrees with occupancy", pid, sh.wireActive.contains(int32(pid)))
+				}
+			}
+		}
+	}
+	if got := f.QueuedPackets(); queued != got {
+		return fmt.Errorf("wormhole: queued-packet counter %d, want %d", got, queued)
 	}
 	return nil
 }

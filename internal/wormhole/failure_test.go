@@ -103,7 +103,7 @@ func TestOutOfOrderDeliveryPanics(t *testing.T) {
 		}
 	}()
 	// Deliver flit 2 before flits 0 and 1.
-	f.deliver(Flit{Packet: 0, Seq: 2}, 10)
+	f.deliver(&f.shards[0], Flit{Packet: 0, Seq: 2}, 10)
 }
 
 func TestShortPacketTailPanics(t *testing.T) {
@@ -118,7 +118,7 @@ func TestShortPacketTailPanics(t *testing.T) {
 	}()
 	// A tail arriving at sequence 0 of a 4-flit packet means flits were
 	// lost.
-	f.deliver(Flit{Packet: 0, Seq: 0, Kind: FlitHead | FlitTail}, 10)
+	f.deliver(&f.shards[0], Flit{Packet: 0, Seq: 0, Kind: FlitHead | FlitTail}, 10)
 }
 
 func TestCreditOverflowPanics(t *testing.T) {
@@ -131,7 +131,7 @@ func TestCreditOverflowPanics(t *testing.T) {
 		lanes := f.outLanesOf(pid)
 		for l := range lanes {
 			if int(lanes[l].credits) == f.Cfg.BufDepth {
-				f.pendingCredits = append(f.pendingCredits, laneRefAt{router: int32(pid / f.deg), ref: packRef(pid%f.deg, l)})
+				f.shards[0].pendingCredits = append(f.shards[0].pendingCredits, laneRefAt{router: int32(pid / f.deg), ref: packRef(pid%f.deg, l)})
 				defer func() {
 					if recover() == nil {
 						t.Fatal("credit overflow not detected")

@@ -115,13 +115,25 @@ var _ Observable = (*Fabric)(nil)
 
 // HeadersRouted returns the cumulative count of routing decisions won
 // since construction — the routing stage's useful-work counter.
-func (f *Fabric) HeadersRouted() int64 { return f.headersRouted }
+func (f *Fabric) HeadersRouted() int64 {
+	var n int64
+	for i := range f.shards {
+		n += f.shards[i].headersRouted
+	}
+	return n
+}
 
 // CreditStalls returns the cumulative count of send attempts an output
 // lane lost to an exhausted credit count: a buffered flit wanted the
 // link but the downstream lane advertised no space. Growth here is the
 // back-pressure signature of congestion spreading upstream.
-func (f *Fabric) CreditStalls() int64 { return f.creditStalls }
+func (f *Fabric) CreditStalls() int64 {
+	var n int64
+	for i := range f.shards {
+		n += f.shards[i].creditStalls
+	}
+	return n
+}
 
 // Gauges is a point-in-time occupancy view of the fabric — the cheap
 // subset of Observe used by the live telemetry sampler: no state digest,
@@ -170,9 +182,9 @@ func (f *Fabric) ReadGauges() Gauges {
 func (f *Fabric) Observe() CycleObs {
 	obs := CycleObs{
 		Cycle:    f.cycle,
-		Counters: f.counters,
-		InFlight: f.inFlight,
-		Queued:   f.queued,
+		Counters: f.Counters(),
+		InFlight: f.InFlight(),
+		Queued:   f.QueuedPackets(),
 	}
 	d := NewDigest()
 	nPorts := len(f.ports)

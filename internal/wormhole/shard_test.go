@@ -1,0 +1,138 @@
+package wormhole
+
+import (
+	"strings"
+	"testing"
+
+	"smart/internal/topology"
+)
+
+func shardTestFabric(t *testing.T, cfg Config) *Fabric {
+	t.Helper()
+	top, err := topology.NewCube(16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := NewFabric(top, cfg, &greedyRing{cube: top, vcs: cfg.VCs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestShardSetShardsPartitions(t *testing.T) {
+	f := shardTestFabric(t, Config{VCs: 1, BufDepth: 4, PacketFlits: 4, InjLanes: 1})
+	if f.Shards() != 1 {
+		t.Fatalf("fresh fabric has %d shards, want 1", f.Shards())
+	}
+	if err := f.SetShards(4); err != nil {
+		t.Fatal(err)
+	}
+	if f.Shards() != 4 {
+		t.Fatalf("SetShards(4) left %d shards", f.Shards())
+	}
+	// Every router, port, lane and node must be owned by exactly one
+	// shard, in ascending contiguous ranges.
+	routers := f.Top.Routers()
+	seenR := 0
+	for i := range f.shards {
+		sh := &f.shards[i]
+		if sh.rLo != seenR {
+			t.Fatalf("shard %d starts at router %d, want %d", i, sh.rLo, seenR)
+		}
+		seenR = sh.rHi
+		for r := sh.rLo; r < sh.rHi; r++ {
+			if int(f.routerShard[r]) != i {
+				t.Fatalf("router %d mapped to shard %d, owned by %d", r, f.routerShard[r], i)
+			}
+		}
+		for n := sh.nLo; n < sh.nHi; n++ {
+			if int(f.nodeShard[n]) != i {
+				t.Fatalf("node %d mapped to shard %d, owned by %d", n, f.nodeShard[n], i)
+			}
+		}
+	}
+	if seenR != routers {
+		t.Fatalf("shards cover %d routers, want %d", seenR, routers)
+	}
+	// Clamping: more shards than routers.
+	f2 := shardTestFabric(t, Config{VCs: 1, BufDepth: 4, PacketFlits: 4, InjLanes: 1})
+	if err := f2.SetShards(1000); err != nil {
+		t.Fatal(err)
+	}
+	if f2.Shards() != f2.Top.Routers() {
+		t.Fatalf("SetShards(1000) on %d routers gave %d shards", f2.Top.Routers(), f2.Shards())
+	}
+}
+
+func TestShardSetShardsRejectsRunningFabric(t *testing.T) {
+	f := shardTestFabric(t, Config{VCs: 1, BufDepth: 4, PacketFlits: 4, InjLanes: 1})
+	f.EnqueuePacket(0, 1, 0)
+	err := f.SetShards(2)
+	if err == nil || !strings.Contains(err.Error(), "running fabric") {
+		t.Fatalf("SetShards on a fabric with packets: err = %v", err)
+	}
+}
+
+// TestShardStoreAndForwardForcesSequential pins the documented
+// restriction: the whole-packet routing gate inspects same-cycle
+// arrivals, which the deferred cross-shard commit hides, so SAF runs
+// single-shard.
+func TestShardStoreAndForwardForcesSequential(t *testing.T) {
+	f := shardTestFabric(t, Config{VCs: 1, BufDepth: 4, PacketFlits: 4, InjLanes: 1, StoreAndForward: true})
+	if err := f.SetShards(4); err != nil {
+		t.Fatal(err)
+	}
+	if f.Shards() != 1 {
+		t.Fatalf("store-and-forward fabric got %d shards, want 1", f.Shards())
+	}
+}
+
+// TestShardWireFIFOCompaction pins the unbounded-growth fix: a wire
+// queue that is pushed and popped in sustained alternation must reclaim
+// its consumed prefix instead of appending forever.
+func TestShardWireFIFOCompaction(t *testing.T) {
+	var w wireFIFO
+	for i := 0; i < 100000; i++ {
+		w.push(flight{at: int64(i)})
+		w.push(flight{at: int64(i)})
+		if got := w.pop(); got.at != int64(i) && got.at != int64(i)-0 {
+			_ = got
+		}
+		w.pop()
+		w.push(flight{at: int64(i)})
+		// Leave one flight resident so the queue never fully empties and
+		// the empty-reset path cannot mask missing compaction.
+		w.pop()
+	}
+	if len(w.q) > 4096 {
+		t.Fatalf("wireFIFO retained %d slots for a bounded backlog", len(w.q))
+	}
+}
+
+// TestShardWireFIFOOrder checks FIFO order is preserved across the
+// compaction boundary.
+func TestShardWireFIFOOrder(t *testing.T) {
+	var w wireFIFO
+	next := int64(0) // next value to pop
+	pushed := int64(0)
+	for i := 0; i < 5000; i++ {
+		w.push(flight{at: pushed})
+		pushed++
+		w.push(flight{at: pushed})
+		pushed++
+		if got := w.pop(); got.at != next {
+			t.Fatalf("pop %d, want %d", got.at, next)
+		}
+		next++
+	}
+	for !w.empty() {
+		if got := w.pop(); got.at != next {
+			t.Fatalf("drain pop %d, want %d", got.at, next)
+		}
+		next++
+	}
+	if next != pushed {
+		t.Fatalf("drained %d flights, pushed %d", next, pushed)
+	}
+}

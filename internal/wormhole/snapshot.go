@@ -14,12 +14,18 @@ var _ sim.Watchable = (*Fabric)(nil)
 
 // Progress returns the monotonic work counter the watchdog samples: it
 // advances whenever a flit moves a pipeline stage or is delivered.
-func (f *Fabric) Progress() int64 { return f.progress }
+func (f *Fabric) Progress() int64 {
+	var n int64
+	for i := range f.shards {
+		n += f.shards[i].progress
+	}
+	return n
+}
 
 // Pending reports whether flits are inside the network. Source-queued
 // packets are excluded deliberately: a throttled source waiting on an
 // empty network is idle, not deadlocked.
-func (f *Fabric) Pending() bool { return f.inFlight > 0 }
+func (f *Fabric) Pending() bool { return f.InFlight() > 0 }
 
 // StallReport captures the fabric's state for a stall post-mortem.
 func (f *Fabric) StallReport() any { return f.snapshot() }
@@ -103,8 +109,8 @@ func (f *Fabric) snapshot() *StallSnapshot {
 	s := &StallSnapshot{
 		Cycle:     f.cycle,
 		Algorithm: f.Alg.Name(),
-		InFlight:  f.inFlight,
-		Queued:    f.queued,
+		InFlight:  f.InFlight(),
+		Queued:    f.QueuedPackets(),
 	}
 	for pid := range f.ports {
 		r, p := pid/f.deg, pid%f.deg

@@ -87,6 +87,13 @@ func Run(cfg Config) (Result, error) { return core.Run(cfg) }
 // NewSimulation assembles an experiment without running it.
 func NewSimulation(cfg Config) (*Simulation, error) { return core.NewSimulation(cfg) }
 
+// NewSimulationShards assembles an experiment on the sharded parallel
+// engine. Results are bit-identical for every shard count; 0 picks an
+// automatic count from the network size and GOMAXPROCS.
+func NewSimulationShards(cfg Config, shards int) (*Simulation, error) {
+	return core.NewSimulationShards(cfg, shards)
+}
+
 // Sweep runs the configuration across offered loads, in parallel across
 // workers goroutines, returning results in load order.
 func Sweep(base Config, loads []float64, workers int) ([]Result, error) {
