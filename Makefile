@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race cover fuzz bench bench-fabric shard-smoke telemetry-smoke profile experiments quick clean
+.PHONY: all build vet lint lint-shardsafe test race cover fuzz bench bench-fabric shard-smoke telemetry-smoke profile experiments quick clean
 
 all: build lint test
 
@@ -56,10 +56,20 @@ bench-fabric:
 
 # Sharded-engine determinism gates: the sharded-vs-sequential
 # differential under the race detector, plus the benchfabric
-# cross-shard Counters diff (no file written).
+# cross-shard Counters diff (no file written). SMOKE_PROCS pins
+# GOMAXPROCS — CI runs both 1 (serialized scheduling) and 4 (true
+# multi-core interleavings); results must be bit-identical.
+SMOKE_PROCS ?= 4
 shard-smoke:
-	$(GO) test -race -run Shard ./internal/...
-	$(GO) run ./cmd/benchfabric -nodes 256 -shards 1,4 -loads 0.6 -o ''
+	GOMAXPROCS=$(SMOKE_PROCS) $(GO) test -race -run Shard ./internal/...
+	GOMAXPROCS=$(SMOKE_PROCS) $(GO) run ./cmd/benchfabric -nodes 256 -shards 1,4 -loads 0.6 -o ''
+
+# The shardsafe leg of the CI lint matrix: the analyzer's own fixture
+# and seeded-violation tests plus the shard engine they protect, under
+# the race detector.
+lint-shardsafe:
+	$(GO) test -race -run 'ShardSafe|ShardViolation' ./internal/lint/
+	$(GO) test -race -run 'TestShard' ./internal/sim/ ./internal/wormhole/
 
 # End-to-end telemetry check: live /metrics scrape mid-sweep, sidecar
 # validation, and the kill-and-resume digest contract. See DESIGN.md §11.

@@ -1,13 +1,20 @@
-// Command smartlint enforces the repo's determinism contract
-// statically: no map-order iteration, wall-clock reads, global RNG
-// use, exact float comparison, or wall-time sleeps in simulation code.
-// It prints "file:line: rule: message" diagnostics and exits 1 when
-// any are found, so CI can gate every PR on the contract the golden
-// fixtures only sample dynamically.
+// Command smartlint enforces the repo's determinism and shard-safety
+// contracts statically: the per-file rules (no map-order iteration,
+// wall-clock reads, global RNG use, exact float comparison, wall-time
+// sleeps) plus the whole-program rules (shardsafe ownership on the
+// compute-phase call graph, hotalloc escape-analysis gating, digestpure
+// environmental-taint tracking). It prints "file:line: rule: message"
+// diagnostics and exits 1 when any are found, so CI can gate every PR
+// on the contract the golden fixtures only sample dynamically.
 //
 // Usage:
 //
 //	go run ./cmd/smartlint ./internal/... ./cmd/...
+//
+// With -json the diagnostics are emitted as a JSON array on stdout
+// instead, for tooling that post-processes lint results.
+//
+// Exit codes: 0 clean, 1 findings, 2 load or analysis failure.
 //
 // A finding that is genuinely intended carries an inline
 // "//smartlint:allow <rule> — <reason>" annotation; the reason is
@@ -15,33 +22,60 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"smart/internal/lint"
 )
 
 func main() {
-	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: smartlint [packages]\n\nrules: %v\n", lint.Rules)
-		flag.PrintDefaults()
+	os.Exit(run(".", os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole program behind a testable seam: dir anchors package
+// patterns, args are the command-line arguments, and the return value
+// is the process exit code (0 clean, 1 findings, 2 failure).
+func run(dir string, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("smartlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array instead of text lines")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: smartlint [-json] [packages]\n\nrules: %v\n", lint.Rules)
+		fs.PrintDefaults()
 	}
-	flag.Parse()
-	patterns := flag.Args()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	diags, err := lint.Run(".", patterns)
+	diags, err := lint.Run(dir, patterns)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "smartlint:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "smartlint:", err)
+		return 2
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+	if *jsonOut {
+		if diags == nil {
+			diags = []lint.Diagnostic{} // encode as [], not null
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(stderr, "smartlint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
 	}
 	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "smartlint: %d violation(s)\n", len(diags))
-		os.Exit(1)
+		fmt.Fprintf(stderr, "smartlint: %d violation(s)\n", len(diags))
+		return 1
 	}
+	return 0
 }

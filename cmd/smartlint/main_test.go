@@ -1,0 +1,95 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"smart/internal/lint"
+)
+
+// writeModule lays out a throwaway module so the exit-code contract can
+// be exercised end to end without touching the real tree.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	files["go.mod"] = "module injected\n\ngo 1.22\n"
+	for name, src := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestExitCodeClean(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"ok.go": "package ok\n\nfunc Add(a, b int) int { return a + b }\n",
+	})
+	var stdout, stderr bytes.Buffer
+	if code := run(dir, []string{"./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("clean module: want exit 0, got %d (stderr: %s)", code, stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Fatalf("clean module: want no output, got %q", stdout.String())
+	}
+}
+
+func TestExitCodeFindings(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"bad.go": "package bad\n\nimport \"time\"\n\nfunc Stamp() int64 { return time.Now().UnixNano() }\n",
+	})
+	var stdout, stderr bytes.Buffer
+	if code := run(dir, []string{"./..."}, &stdout, &stderr); code != 1 {
+		t.Fatalf("violating module: want exit 1, got %d (stderr: %s)", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "bad.go:5: wallclock:") {
+		t.Fatalf("want a file:line: rule: diagnostic, got %q", stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "1 violation(s)") {
+		t.Fatalf("want a violation summary on stderr, got %q", stderr.String())
+	}
+}
+
+func TestExitCodeLoadError(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"ok.go": "package ok\n",
+	})
+	var stdout, stderr bytes.Buffer
+	if code := run(dir, []string{"./nonexistent/..."}, &stdout, &stderr); code != 2 {
+		t.Fatalf("bad pattern: want exit 2, got %d", code)
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"bad.go": "package bad\n\nimport \"time\"\n\nfunc Stamp() int64 { return time.Now().UnixNano() }\n",
+	})
+	var stdout, stderr bytes.Buffer
+	if code := run(dir, []string{"-json", "./..."}, &stdout, &stderr); code != 1 {
+		t.Fatalf("want exit 1, got %d (stderr: %s)", code, stderr.String())
+	}
+	var diags []lint.Diagnostic
+	if err := json.Unmarshal(stdout.Bytes(), &diags); err != nil {
+		t.Fatalf("output is not a JSON array of diagnostics: %v\n%s", err, stdout.String())
+	}
+	if len(diags) != 1 || diags[0].Rule != "wallclock" || diags[0].Line != 5 {
+		t.Fatalf("want one wallclock diagnostic on line 5, got %+v", diags)
+	}
+}
+
+func TestJSONOutputEmptyArray(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"ok.go": "package ok\n\nfunc Add(a, b int) int { return a + b }\n",
+	})
+	var stdout, stderr bytes.Buffer
+	if code := run(dir, []string{"-json", "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("want exit 0, got %d (stderr: %s)", code, stderr.String())
+	}
+	if got := strings.TrimSpace(stdout.String()); got != "[]" {
+		t.Fatalf("clean -json run must print [], got %q", got)
+	}
+}

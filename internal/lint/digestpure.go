@@ -1,0 +1,272 @@
+package lint
+
+// The digestpure rule guards the replay contract from the environment.
+// obs.Digest fingerprints a batch of runs so two machines can agree
+// they simulated the same thing; that agreement breaks the moment a
+// digested value depends on anything outside the simulated world —
+// wall-clock time, the shard count, GOMAXPROCS. The digest
+// canonicalization already zeroes the known environmental fields
+// (WallMS, Shards, Schema); this rule proves no *new* environmental
+// dependency leaks in.
+//
+// It is a flow-insensitive taint analysis:
+//
+//   - sources: calls to time.Now/Since/Until, runtime.NumCPU,
+//     runtime.GOMAXPROCS, and any function annotated //smartlint:taint
+//     (e.g. (*Pool).Workers, (*Fabric).Shards); reads of fields
+//     annotated //smartlint:taint;
+//   - propagation: assignment, arithmetic, composite literals,
+//     conversions, and through function returns — a whole-program
+//     fixpoint marks every loaded function whose result can carry
+//     taint ("returns-tainted" summaries), so taint follows calls
+//     across packages;
+//   - sinks: arguments of //smartlint:digestsink functions (obs.Digest)
+//     and writes to fields of //smartlint:digested types, except fields
+//     marked //smartlint:undigested (the ones canonicalization zeroes).
+//
+// The analysis over-approximates: a tainted value anywhere in an
+// expression taints the expression, and a function returning taint on
+// any path taints every call. False positives are resolved with
+// //smartlint:allow digestpure — <reason>, which is itself auditable.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+
+	"smart/internal/order"
+)
+
+// taintSources are the built-in environmental sources, by function ID.
+var taintSources = map[string]bool{
+	"time.Now":           true,
+	"time.Since":         true,
+	"time.Until":         true,
+	"runtime.NumCPU":     true,
+	"runtime.GOMAXPROCS": true,
+}
+
+// CheckDigestPure runs the digestpure rule over the program.
+func (p *Program) CheckDigestPure() []Diagnostic {
+	summaries := p.taintSummaries()
+	var diags []Diagnostic
+	for _, id := range order.Keys(p.fns) {
+		p.checkDigestFlows(p.fns[id], summaries, &diags)
+	}
+	sortDiagnostics(diags)
+	return diags
+}
+
+// taintSummaries computes, to a fixpoint, the set of function IDs whose
+// return values may carry environmental taint. Annotated sources are
+// members by definition; a function joins when its body can return a
+// tainted expression under the current summary set.
+func (p *Program) taintSummaries() map[string]bool {
+	tainted := map[string]bool{}
+	for _, id := range order.Keys(taintSources) {
+		tainted[id] = true
+	}
+	for _, id := range order.Keys(p.ann.funcs) {
+		if p.ann.funcs[id]["taint"] {
+			tainted[id] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, id := range order.Keys(p.fns) {
+			node := p.fns[id]
+			if tainted[id] {
+				continue
+			}
+			tl := p.taintedLocals(node, tainted)
+			returns := false
+			ast.Inspect(node.decl.Body, func(n ast.Node) bool {
+				if ret, ok := n.(*ast.ReturnStmt); ok {
+					for _, res := range ret.Results {
+						if p.exprTainted(node.pkg, res, tl, tainted) {
+							returns = true
+						}
+					}
+				}
+				return !returns
+			})
+			if returns {
+				tainted[id] = true
+				changed = true
+			}
+		}
+	}
+	return tainted
+}
+
+// taintedLocals computes the set of local variables in node that may
+// hold tainted values, iterating the body to a local fixpoint (taint
+// can flow forward through chains of assignments).
+func (p *Program) taintedLocals(node *funcNode, summaries map[string]bool) map[*types.Var]bool {
+	tl := map[*types.Var]bool{}
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(node.decl.Body, func(n ast.Node) bool {
+			assign, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			// Multi-value RHS (x, y := f()) taints every LHS when f does.
+			rhsTaint := false
+			if len(assign.Rhs) == 1 && len(assign.Lhs) > 1 {
+				rhsTaint = p.exprTainted(node.pkg, assign.Rhs[0], tl, summaries)
+			}
+			for i, lhs := range assign.Lhs {
+				t := rhsTaint
+				if !t && i < len(assign.Rhs) {
+					t = p.exprTainted(node.pkg, assign.Rhs[i], tl, summaries)
+				}
+				if !t {
+					continue
+				}
+				if ident, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+					obj := node.pkg.Info.Defs[ident]
+					if obj == nil {
+						obj = node.pkg.Info.Uses[ident]
+					}
+					if v, ok := obj.(*types.Var); ok && !tl[v] {
+						tl[v] = true
+						changed = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return tl
+}
+
+// exprTainted reports whether e may carry environmental taint: it
+// mentions a tainted local, reads a //smartlint:taint field, or calls a
+// function in the summary set.
+func (p *Program) exprTainted(pkg *Package, e ast.Expr, tl map[*types.Var]bool, summaries map[string]bool) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.Ident:
+			obj := pkg.Info.Uses[n]
+			if v, ok := obj.(*types.Var); ok && (tl[v] || p.ann.field(v, "taint")) {
+				found = true
+			}
+		case *ast.SelectorExpr:
+			if sel, ok := pkg.Info.Selections[n]; ok {
+				if v, ok := sel.Obj().(*types.Var); ok && p.ann.field(v, "taint") {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			ids, _ := p.callTargets(pkg, n)
+			for _, id := range ids {
+				if summaries[id] {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// checkDigestFlows scans one function for taint reaching a sink.
+func (p *Program) checkDigestFlows(node *funcNode, summaries map[string]bool, diags *[]Diagnostic) {
+	pkg := node.pkg
+	tl := p.taintedLocals(node, summaries)
+	report := func(pos ast.Node, format string, args ...any) {
+		if p.allowed(pkg, pos.Pos(), RuleDigestPure) {
+			return
+		}
+		at := pkg.Fset.Position(pos.Pos())
+		*diags = append(*diags, Diagnostic{Path: at.Filename, Line: at.Line, Rule: RuleDigestPure,
+			Message: fmt.Sprintf(format, args...)})
+	}
+	ast.Inspect(node.decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			ids, _ := p.callTargets(pkg, n)
+			sink := false
+			for _, id := range ids {
+				if p.ann.fn(id, "digestsink") {
+					sink = true
+				}
+			}
+			if !sink {
+				return true
+			}
+			for _, arg := range n.Args {
+				if p.exprTainted(pkg, arg, tl, summaries) {
+					report(arg, "environment-tainted value (wall clock, shard count, or GOMAXPROCS) reaches digest sink in %s: digests must depend only on the simulated world", node.id)
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				field, undig := p.digestedField(pkg, lhs)
+				if field == "" || undig {
+					continue
+				}
+				rhs := n.Rhs[min(i, len(n.Rhs)-1)]
+				if p.exprTainted(pkg, rhs, tl, summaries) {
+					report(rhs, "environment-tainted value written to digested field %s in %s: mark the field //smartlint:undigested (and zero it in canonicalization) or derive the value from simulated state", field, node.id)
+				}
+			}
+		case *ast.CompositeLit:
+			named := namedOf(pkg.Info.TypeOf(n))
+			if named == nil || !p.ann.typ(typeID(named.Obj()), "digested") {
+				return true
+			}
+			st, ok := named.Underlying().(*types.Struct)
+			if !ok {
+				return true
+			}
+			for i, elt := range n.Elts {
+				var field *types.Var
+				var value ast.Expr
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					if ident, ok := kv.Key.(*ast.Ident); ok {
+						for j := 0; j < st.NumFields(); j++ {
+							if st.Field(j).Name() == ident.Name {
+								field = st.Field(j)
+							}
+						}
+					}
+					value = kv.Value
+				} else if i < st.NumFields() {
+					field, value = st.Field(i), elt
+				}
+				if field == nil || p.ann.field(field, "undigested") {
+					continue
+				}
+				if p.exprTainted(pkg, value, tl, summaries) {
+					report(value, "environment-tainted value initializes digested field %s of %s in %s", field.Name(), named.Obj().Name(), node.id)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// digestedField reports whether lhs writes a field of a digested type,
+// returning the field name and whether it is marked undigested.
+func (p *Program) digestedField(pkg *Package, lhs ast.Expr) (string, bool) {
+	se, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	named := namedOf(pkg.Info.TypeOf(se.X))
+	if named == nil || !p.ann.typ(typeID(named.Obj()), "digested") {
+		return "", false
+	}
+	if sel, ok := pkg.Info.Selections[se]; ok {
+		if v, ok := sel.Obj().(*types.Var); ok {
+			return named.Obj().Name() + "." + v.Name(), p.ann.field(v, "undigested")
+		}
+	}
+	return "", false
+}

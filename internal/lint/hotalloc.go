@@ -1,0 +1,228 @@
+package lint
+
+// The hotalloc rule pins the active-set fast path's zero-allocation
+// property (DESIGN.md §6, §13). The per-cycle sweep is fast because it
+// touches preallocated flat arrays and never calls the allocator; a
+// refactor that introduces a heap allocation (an escaping closure, a
+// boxed interface argument, a slice literal) shows up as a GC-driven
+// throughput cliff only at scale — long after the PR merged.
+//
+// Functions annotated //smartlint:hotpath are checked against the
+// compiler's own escape analysis: the rule runs
+// `go build -gcflags=-m <pkg>` and flags any "escapes to heap" /
+// "moved to heap" diagnostic positioned inside a hotpath function
+// body. Three carve-outs keep the signal clean:
+//
+//   - a constant string "escaping to heap" is exempt — the compiler
+//     converts constant strings to static read-only interface data, so
+//     no allocation happens at run time (these show up through inlined
+//     panic("...") calls, attributed to the caller's line);
+//   - allocations inside panic(...) arguments are exempt — a panic is
+//     the end of the simulation, its formatting cost is irrelevant;
+//   - //smartlint:allow hotalloc — <reason> on the allocating line
+//     works as everywhere else (e.g. an amortized append that the
+//     AllocsPerRun guard proves is warm-state free).
+//
+// The dynamic halves of the contract are the testing.AllocsPerRun
+// guards next to the annotated code; this rule is the static half that
+// names the exact line when they start failing.
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+
+	"smart/internal/order"
+)
+
+// escapeLine matches one escape diagnostic from -gcflags=-m:
+// "internal/phys/phys.go:49:6: x escapes to heap".
+var escapeLine = regexp.MustCompile(`^(.+\.go):(\d+):(\d+): (.*(?:escapes to heap|moved to heap).*)$`)
+
+// constStringEscape matches a constant string "escaping": the compiler
+// materializes those as static eface data, so nothing allocates at run
+// time. Inlining attributes them to the caller's line, outside any
+// panic(...) the AST exemption could see.
+var constStringEscape = regexp.MustCompile(`^".*" escapes to heap`)
+
+// hotFunc is one hotpath-annotated function's body extent.
+type hotFunc struct {
+	id       string
+	path     string // file path relative to the module root
+	from, to int    // body line range, inclusive
+	pkg      *Package
+	decl     *ast.FuncDecl
+}
+
+// CheckHotAlloc verifies every //smartlint:hotpath function against the
+// compiler's escape analysis. dir is the directory smartlint was
+// invoked from (used to resolve the module root and to run the builds).
+func (p *Program) CheckHotAlloc(dir string) ([]Diagnostic, error) {
+	hots, pkgPaths := p.hotFuncs(dir)
+	if len(hots) == 0 {
+		return nil, nil
+	}
+	var diags []Diagnostic
+	for _, pkgPath := range pkgPaths {
+		out, err := escapeOutput(dir, pkgPath)
+		if err != nil {
+			return nil, err
+		}
+		diags = append(diags, matchEscapes(out, hots, p)...)
+	}
+	sortDiagnostics(diags)
+	return dedupe(diags), nil
+}
+
+// hotFuncs indexes the hotpath-annotated functions by file and body
+// range, and returns the sorted set of import paths that declare them.
+func (p *Program) hotFuncs(dir string) ([]hotFunc, []string) {
+	root := moduleRoot(dir)
+	var hots []hotFunc
+	seenPkg := map[string]bool{}
+	var pkgPaths []string
+	for _, id := range order.Keys(p.fns) {
+		node := p.fns[id]
+		if !p.ann.fn(id, "hotpath") {
+			continue
+		}
+		from := node.pkg.Fset.Position(node.decl.Body.Lbrace).Line
+		to := node.pkg.Fset.Position(node.decl.Body.Rbrace).Line
+		path := node.pkg.Fset.Position(node.decl.Pos()).Filename
+		if root != "" {
+			if rel, err := filepath.Rel(root, path); err == nil && !strings.HasPrefix(rel, "..") {
+				path = rel
+			}
+		}
+		hots = append(hots, hotFunc{id: id, path: filepath.ToSlash(path), from: from, to: to, pkg: node.pkg, decl: node.decl})
+		if !seenPkg[node.pkg.Path] {
+			seenPkg[node.pkg.Path] = true
+			pkgPaths = append(pkgPaths, node.pkg.Path)
+		}
+	}
+	sort.Strings(pkgPaths)
+	return hots, pkgPaths
+}
+
+// escapeOutput compiles pkgPath with escape-analysis diagnostics
+// enabled and returns the compiler's stderr. The go tool replays cached
+// diagnostics, so repeated lint runs do not pay for recompilation.
+func escapeOutput(dir, pkgPath string) (string, error) {
+	cmd := exec.Command("go", "build", "-gcflags=-m", pkgPath)
+	cmd.Dir = dir
+	var out bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &out
+	if err := cmd.Run(); err != nil {
+		return "", fmt.Errorf("lint: go build -gcflags=-m %s: %v\n%s", pkgPath, err, out.String())
+	}
+	return out.String(), nil
+}
+
+// matchEscapes attributes escape diagnostics to hotpath bodies.
+func matchEscapes(out string, hots []hotFunc, p *Program) []Diagnostic {
+	var diags []Diagnostic
+	for _, line := range strings.Split(out, "\n") {
+		m := escapeLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		// Packages in the module root print as "./file.go"; hotFunc
+		// paths are root-relative without the prefix.
+		file := strings.TrimPrefix(filepath.ToSlash(m[1]), "./")
+		lineNo, _ := strconv.Atoi(m[2])
+		col, _ := strconv.Atoi(m[3])
+		msg := m[4]
+		if constStringEscape.MatchString(msg) {
+			continue // static read-only data, not a runtime allocation
+		}
+		for _, h := range hots {
+			if h.path != file || lineNo < h.from || lineNo > h.to {
+				continue
+			}
+			pos := positionToPos(h, lineNo, col)
+			if pos.IsValid() && inPanicArg(h.decl, pos) {
+				continue // panic formatting is end-of-simulation, exempt
+			}
+			if pos.IsValid() && p.allowed(h.pkg, pos, RuleHotAlloc) {
+				continue
+			}
+			abs := h.pkg.Fset.Position(h.decl.Pos()).Filename
+			diags = append(diags, Diagnostic{Path: abs, Line: lineNo, Rule: RuleHotAlloc,
+				Message: fmt.Sprintf("heap allocation in hotpath function %s: %s (compiler escape analysis)", h.id, msg)})
+		}
+	}
+	return diags
+}
+
+// positionToPos converts a (line, col) pair back into a token.Pos inside
+// the hotpath function's file, so the allow table (keyed by Pos) and the
+// AST (for the panic exemption) can be consulted.
+func positionToPos(h hotFunc, line, col int) token.Pos {
+	tf := h.pkg.Fset.File(h.decl.Pos())
+	if tf == nil || line > tf.LineCount() {
+		return token.NoPos
+	}
+	p := tf.LineStart(line)
+	return p + token.Pos(col-1)
+}
+
+// inPanicArg reports whether pos falls inside the argument list of a
+// panic call within decl.
+func inPanicArg(decl *ast.FuncDecl, pos token.Pos) bool {
+	found := false
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if ident, ok := call.Fun.(*ast.Ident); ok && ident.Name == "panic" {
+			if pos >= call.Lparen && pos <= call.Rparen {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// moduleRoot locates the enclosing go.mod directory, "" when dir is not
+// inside a module (escape paths then stay absolute and simply fail to
+// match, which surfaces as missing coverage in tests rather than false
+// negatives in CI).
+func moduleRoot(dir string) string {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return ""
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(abs, "go.mod")); err == nil {
+			return abs
+		}
+		parent := filepath.Dir(abs)
+		if parent == abs {
+			return ""
+		}
+		abs = parent
+	}
+}
+
+// dedupe removes adjacent duplicate diagnostics (the compiler can emit
+// the same escape twice when a package is built for multiple configs).
+func dedupe(diags []Diagnostic) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range diags {
+		if len(out) > 0 && out[len(out)-1] == d {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}

@@ -33,12 +33,13 @@ import (
 )
 
 // Diagnostic is one rule violation at a source position. Its String
-// form is the contract with CI: "file:line: rule: message".
+// form is the contract with CI: "file:line: rule: message"; the JSON
+// tags are the contract with smartlint -json consumers.
 type Diagnostic struct {
-	Path    string
-	Line    int
-	Rule    string
-	Message string
+	Path    string `json:"path"`
+	Line    int    `json:"line"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
 }
 
 func (d Diagnostic) String() string {
@@ -51,6 +52,9 @@ type Package struct {
 	Fset  *token.FileSet
 	Files []*ast.File
 	Info  *types.Info
+	// Types is the checked package object; the whole-program rules walk
+	// its scope and imports for interface-implementation discovery.
+	Types *types.Package
 }
 
 // listedPackage is the subset of `go list -json` output the loader
@@ -154,15 +158,17 @@ func (l *Loader) checkFiles(importPath, dir string, names []string) (*Package, e
 		files = append(files, f)
 	}
 	info := &types.Info{
-		Types: map[ast.Expr]types.TypeAndValue{},
-		Defs:  map[*ast.Ident]types.Object{},
-		Uses:  map[*ast.Ident]types.Object{},
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
 	}
 	conf := types.Config{Importer: l.imp}
-	if _, err := conf.Check(importPath, l.fset, files, info); err != nil {
+	tpkg, err := conf.Check(importPath, l.fset, files, info)
+	if err != nil {
 		return nil, fmt.Errorf("lint: type-checking %s: %w", importPath, err)
 	}
-	return &Package{Path: importPath, Fset: l.fset, Files: files, Info: info}, nil
+	return &Package{Path: importPath, Fset: l.fset, Files: files, Info: info, Types: tpkg}, nil
 }
 
 // lookupExport feeds compiled export data to the gc importer. Paths
@@ -216,8 +222,9 @@ func (l *Loader) goList(args ...string) ([]listedPackage, error) {
 }
 
 // Run loads the packages matching patterns relative to dir, checks
-// every rule, and returns the surviving diagnostics sorted by
-// position, with file paths relative to dir where possible.
+// every per-file rule and the whole-program rules, and returns the
+// surviving diagnostics sorted by position, with file paths relative to
+// dir where possible.
 func Run(dir string, patterns []string) ([]Diagnostic, error) {
 	pkgs, err := NewLoader(dir).Load(patterns...)
 	if err != nil {
@@ -227,6 +234,15 @@ func Run(dir string, patterns []string) ([]Diagnostic, error) {
 	for _, p := range pkgs {
 		diags = append(diags, Check(p)...)
 	}
+	prog := NewProgram(pkgs)
+	diags = append(diags, prog.Diagnostics()...)
+	diags = append(diags, prog.CheckShardSafe()...)
+	diags = append(diags, prog.CheckDigestPure()...)
+	hot, err := prog.CheckHotAlloc(dir)
+	if err != nil {
+		return nil, err
+	}
+	diags = append(diags, hot...)
 	if abs, err := filepath.Abs(dir); err == nil {
 		for i := range diags {
 			if rel, err := filepath.Rel(abs, diags[i].Path); err == nil && !strings.HasPrefix(rel, "..") {

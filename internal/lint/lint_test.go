@@ -60,17 +60,11 @@ func readExpectations(t *testing.T, dir string) []*expectation {
 	return expects
 }
 
-// checkFixture analyzes one fixture package and verifies its
-// diagnostics against the // want markers, in both directions: every
-// marker must be satisfied and every diagnostic must be expected.
-func checkFixture(t *testing.T, name, importPath string) {
+// matchDiagnostics verifies diags against the // want markers in dir, in
+// both directions: every marker must be satisfied and every diagnostic
+// must be expected.
+func matchDiagnostics(t *testing.T, dir string, diags []Diagnostic) {
 	t.Helper()
-	dir := filepath.Join("testdata", "src", name)
-	pkg, err := NewLoader(".").LoadDir(dir, importPath)
-	if err != nil {
-		t.Fatal(err)
-	}
-	diags := Check(pkg)
 	expects := readExpectations(t, dir)
 	for _, d := range diags {
 		rendered := d.Rule + ": " + d.Message
@@ -90,6 +84,34 @@ func checkFixture(t *testing.T, name, importPath string) {
 			t.Errorf("missing diagnostic at %s:%d matching %q", e.file, e.line, e.raw)
 		}
 	}
+}
+
+// checkFixture analyzes one fixture package with the per-file rules and
+// verifies the diagnostics against the fixture's markers.
+func checkFixture(t *testing.T, name, importPath string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", name)
+	pkg, err := NewLoader(".").LoadDir(dir, importPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matchDiagnostics(t, dir, Check(pkg))
+}
+
+// checkProgramFixture analyzes one fixture package with the
+// whole-program machinery — directive hygiene plus the given check —
+// skipping the per-file rules (the digestpure fixture legitimately reads
+// the wall clock, which the wallclock rule would flag).
+func checkProgramFixture(t *testing.T, name, importPath string, check func(*Program) []Diagnostic) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", name)
+	pkg, err := NewLoader(".").LoadDir(dir, importPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := NewProgram([]*Package{pkg})
+	diags := append(prog.Diagnostics(), check(prog)...)
+	matchDiagnostics(t, dir, diags)
 }
 
 func TestRuleFixtures(t *testing.T) {
@@ -144,6 +166,156 @@ func TestConcurrencyExemptHomes(t *testing.T) {
 		if diags := Check(pkg); len(diags) != 0 {
 			t.Fatalf("%s should be exempt from concurrency, got %d diagnostics: %v", path, len(diags), diags)
 		}
+	}
+}
+
+// TestShardSafeFixture runs the whole-program ownership rule over its
+// fixture: entry-rooted traversal, ownership classification, the
+// concurrency bans, interface dispatch, callbacks, the sink boundary
+// and the allow hatch.
+func TestShardSafeFixture(t *testing.T) {
+	checkProgramFixture(t, "shardsafe", "fixture/shardsafe", func(p *Program) []Diagnostic {
+		return p.CheckShardSafe()
+	})
+}
+
+// TestDigestPureFixture runs the environmental-taint rule over its
+// fixture: built-in and annotated sources, returns-tainted summaries,
+// both sink forms, the undigested carve-out and the allow hatch.
+func TestDigestPureFixture(t *testing.T) {
+	checkProgramFixture(t, "digestpure", "fixture/digestpure", func(p *Program) []Diagnostic {
+		return p.CheckDigestPure()
+	})
+}
+
+// TestDirectiveHygieneFixture proves unknown, misplaced and floating
+// directives are reported rather than silently ignored.
+func TestDirectiveHygieneFixture(t *testing.T) {
+	checkProgramFixture(t, "directive", "fixture/directive", func(p *Program) []Diagnostic {
+		return nil
+	})
+}
+
+// TestHotAllocFixture runs the escape-analysis rule over its fixture.
+// The fixture compiles for real (the rule shells out to go build), so it
+// is loaded under its true module import path and checked from the
+// module root, mirroring a production smartlint invocation.
+func TestHotAllocFixture(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles the fixture package; skipped in -short mode")
+	}
+	dir, err := filepath.Abs(filepath.Join("testdata", "src", "hotalloc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := NewLoader(".").LoadDir(dir, "smart/internal/lint/testdata/src/hotalloc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := NewProgram([]*Package{pkg})
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := prog.CheckHotAlloc(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matchDiagnostics(t, dir, diags)
+}
+
+// TestInjectedShardViolation seeds a fresh package with a compute-phase
+// global write and proves the shardsafe rule names the exact line.
+func TestInjectedShardViolation(t *testing.T) {
+	dir := t.TempDir()
+	src := `package bad
+
+var hits int
+
+//smartlint:shardentry
+func Compute(w int) { hits++ }
+`
+	if err := os.WriteFile(filepath.Join(dir, "bad.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := NewLoader(".").LoadDir(dir, "injected/shard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := NewProgram([]*Package{pkg})
+	diags := prog.CheckShardSafe()
+	if len(diags) != 1 {
+		t.Fatalf("want exactly one diagnostic, got %v", diags)
+	}
+	if d := diags[0]; d.Rule != RuleShardSafe || d.Line != 6 {
+		t.Fatalf("want a shardsafe diagnostic on line 6, got %s", d)
+	}
+}
+
+// TestInjectedHotAllocViolation seeds an escaping allocation in a
+// hotpath function at the module root and proves the hotalloc rule
+// catches it through the full Run pipeline. The root placement is the
+// regression point: the compiler prints root-package files as
+// "./file.go", which must still match the root-relative body index.
+func TestInjectedHotAllocViolation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles the injected module; skipped in -short mode")
+	}
+	dir := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module injected\n\ngo 1.22\n",
+		"hot.go": `package hot
+
+//smartlint:hotpath
+func Boxed() *int {
+	return new(int)
+}
+`,
+	}
+	for name, src := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	diags, err := Run(dir, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("want exactly one diagnostic, got %v", diags)
+	}
+	if d := diags[0]; d.Rule != RuleHotAlloc || d.Line != 5 {
+		t.Fatalf("want a hotalloc diagnostic on line 5, got %s", d)
+	}
+}
+
+// TestInjectedDigestViolation seeds a wall-clock value flowing into a
+// digest sink and proves the digestpure rule catches the argument.
+func TestInjectedDigestViolation(t *testing.T) {
+	dir := t.TempDir()
+	src := `package bad
+
+import "time"
+
+//smartlint:digestsink
+func Digest(vs []int64) {}
+
+func Leak() { Digest([]int64{time.Now().UnixNano()}) }
+`
+	if err := os.WriteFile(filepath.Join(dir, "bad.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := NewLoader(".").LoadDir(dir, "injected/digest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := NewProgram([]*Package{pkg})
+	diags := prog.CheckDigestPure()
+	if len(diags) != 1 {
+		t.Fatalf("want exactly one diagnostic, got %v", diags)
+	}
+	if d := diags[0]; d.Rule != RuleDigestPure || d.Line != 8 {
+		t.Fatalf("want a digestpure diagnostic on line 8, got %s", d)
 	}
 }
 

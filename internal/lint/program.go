@@ -1,0 +1,250 @@
+package lint
+
+// Program-level analysis state shared by the whole-program rules
+// (shardsafe, digestpure). Each loaded package was type-checked in its
+// own universe against compiled export data, so the same wormhole
+// function is a different *types.Func object in wormhole (source) and
+// in routing (import). The program therefore keys functions and types
+// by stable string IDs (see funcID/typeID), under which the universes
+// agree, and resolves calls — including dynamic calls through named
+// interfaces — to those IDs.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"smart/internal/order"
+)
+
+// funcNode is one function or method declared with a body in a loaded
+// source package.
+type funcNode struct {
+	id   string
+	fn   *types.Func
+	decl *ast.FuncDecl
+	pkg  *Package
+}
+
+// Program is the whole-program view over a set of loaded packages:
+// the declared functions, the directive annotations, the allow sites,
+// and the interface-implementation table for dynamic dispatch.
+type Program struct {
+	pkgs   []*Package
+	fns    map[string]*funcNode
+	ann    *annotations
+	allows map[string]map[allowKey]bool // filename -> allow sites
+
+	// impls maps an interface method ID to the IDs of every concrete
+	// method implementing it among the loaded packages.
+	impls map[string][]string
+
+	// diags accumulates directive-placement diagnostics found while
+	// indexing.
+	diags []Diagnostic
+}
+
+// NewProgram indexes the packages for whole-program analysis.
+func NewProgram(pkgs []*Package) *Program {
+	p := &Program{
+		pkgs:   pkgs,
+		fns:    map[string]*funcNode{},
+		ann:    newAnnotations(),
+		allows: map[string]map[allowKey]bool{},
+		impls:  map[string][]string{},
+	}
+	for _, pkg := range pkgs {
+		p.diags = append(p.diags, p.ann.collect(pkg)...)
+		for _, file := range pkg.Files {
+			allows, _ := parseAllows(pkg.Fset, file)
+			fname := pkg.Fset.Position(file.Pos()).Filename
+			p.allows[fname] = allows
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				p.fns[funcID(obj)] = &funcNode{id: funcID(obj), fn: obj, decl: fd, pkg: pkg}
+			}
+		}
+	}
+	p.buildImpls()
+	return p
+}
+
+// Diagnostics returns the directive-placement problems found while
+// indexing (unknown directives, directives on the wrong declaration
+// kind, floating directives attached to nothing).
+func (p *Program) Diagnostics() []Diagnostic {
+	return p.diags
+}
+
+// allowed reports whether rule is suppressed at the position (same line
+// or the line below an allow comment, matching checkFile).
+func (p *Program) allowed(pkg *Package, pos token.Pos, rule string) bool {
+	at := pkg.Fset.Position(pos)
+	allows := p.allows[at.Filename]
+	return allows[allowKey{at.Line, rule}] || allows[allowKey{at.Line - 1, rule}]
+}
+
+// buildImpls fills the interface-implementation table. For every named
+// non-interface type T declared in a loaded package, and every named
+// interface I visible in that package's universe (its own scope plus
+// its direct imports), T's methods are recorded against I's methods
+// when *T implements I. Implementations whose declaring package does
+// not import the interface's package are invisible to this pass — in
+// this codebase interfaces and their implementers always meet through
+// an import, and shardsafe reports unresolvable dynamic calls rather
+// than silently skipping them.
+func (p *Program) buildImpls() {
+	seen := map[string]bool{} // "(iface).m -> concrete" edge dedup across universes
+	for _, pkg := range p.pkgs {
+		if pkg.Types == nil {
+			continue
+		}
+		var ifaces []*types.Named
+		collect := func(scope *types.Scope) {
+			for _, name := range scope.Names() {
+				tn, ok := scope.Lookup(name).(*types.TypeName)
+				if !ok || tn.IsAlias() {
+					continue
+				}
+				named, ok := tn.Type().(*types.Named)
+				if !ok {
+					continue
+				}
+				if it, ok := named.Underlying().(*types.Interface); ok && it.NumMethods() > 0 {
+					ifaces = append(ifaces, named)
+				}
+			}
+		}
+		collect(pkg.Types.Scope())
+		for _, imp := range pkg.Types.Imports() {
+			collect(imp.Scope())
+		}
+		for _, name := range pkg.Types.Scope().Names() {
+			tn, ok := pkg.Types.Scope().Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			if _, ok := named.Underlying().(*types.Interface); ok {
+				continue
+			}
+			ptr := types.NewPointer(named)
+			ms := types.NewMethodSet(ptr)
+			if ms.Len() == 0 {
+				continue
+			}
+			for _, iface := range ifaces {
+				it := iface.Underlying().(*types.Interface)
+				if !types.Implements(ptr, it) && !types.Implements(named, it) {
+					continue
+				}
+				for i := 0; i < it.NumMethods(); i++ {
+					m := it.Method(i)
+					sel := ms.Lookup(m.Pkg(), m.Name())
+					if sel == nil {
+						continue
+					}
+					concrete, ok := sel.Obj().(*types.Func)
+					if !ok {
+						continue
+					}
+					key := ifaceMethodID(iface, m.Name())
+					edge := key + "->" + funcID(concrete)
+					if seen[edge] {
+						continue
+					}
+					seen[edge] = true
+					p.impls[key] = append(p.impls[key], funcID(concrete))
+				}
+			}
+		}
+	}
+	for _, key := range order.Keys(p.impls) {
+		sort.Strings(p.impls[key])
+	}
+}
+
+// ifaceMethodID names method m of the named interface type.
+func ifaceMethodID(iface *types.Named, m string) string {
+	return "(" + pkgPathOf(iface.Obj()) + "." + iface.Obj().Name() + ")." + m
+}
+
+// callTargets resolves the callee(s) of a call expression in pkg to
+// function IDs. Dynamic calls through a named interface resolve to
+// every known implementation; unresolved is true when the call is
+// dynamic and no implementation is known (a func-typed value, an
+// interface with no loaded implementers).
+func (p *Program) callTargets(pkg *Package, call *ast.CallExpr) (ids []string, unresolved bool) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		switch obj := pkg.Info.Uses[fun].(type) {
+		case *types.Func:
+			return []string{funcID(obj)}, false
+		case *types.Builtin, *types.TypeName:
+			return nil, false // builtin or conversion
+		case *types.Var:
+			return nil, true // call through a func-typed variable
+		}
+		return nil, false
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.Info.Selections[fun]; ok && sel.Kind() == types.MethodVal {
+			m, ok := sel.Obj().(*types.Func)
+			if !ok {
+				return nil, false
+			}
+			recv := sel.Recv()
+			if named := namedOf(recv); named != nil {
+				if _, isIface := named.Underlying().(*types.Interface); isIface {
+					ids := p.impls[ifaceMethodID(named, m.Name())]
+					return ids, len(ids) == 0
+				}
+			} else if types.IsInterface(recv) {
+				return nil, true // unnamed interface: no dispatch table
+			}
+			return []string{funcID(m)}, false
+		}
+		// Package-qualified call (pkg.Fn) or conversion.
+		if obj, ok := pkg.Info.Uses[fun.Sel].(*types.Func); ok {
+			return []string{funcID(obj)}, false
+		}
+		if _, ok := pkg.Info.Uses[fun.Sel].(*types.Var); ok {
+			return nil, true
+		}
+		return nil, false
+	case *ast.FuncLit:
+		return nil, false // body is inspected inline with the enclosing function
+	}
+	return nil, true
+}
+
+// funcValues returns the IDs of functions referenced as values (not
+// called) inside expr — callbacks that may run later in the same phase.
+// The enclosing call's own Fun expression must be skipped by callers.
+func (p *Program) funcValueID(pkg *Package, e ast.Expr) (string, bool) {
+	switch v := e.(type) {
+	case *ast.Ident:
+		if obj, ok := pkg.Info.Uses[v].(*types.Func); ok {
+			return funcID(obj), true
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.Info.Selections[v]; ok && sel.Kind() == types.MethodVal {
+			if m, ok := sel.Obj().(*types.Func); ok {
+				return funcID(m), true
+			}
+		} else if obj, ok := pkg.Info.Uses[v.Sel].(*types.Func); ok {
+			return funcID(obj), true
+		}
+	}
+	return "", false
+}

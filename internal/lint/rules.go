@@ -8,8 +8,10 @@ import (
 	"strings"
 )
 
-// The six rules of the determinism and resilience contract, plus the
-// pseudo-rule "allow" reported for malformed //smartlint:allow comments.
+// The per-file rules of the determinism and resilience contract, the
+// whole-program effect rules (shardsafe, hotalloc, digestpure), plus
+// the pseudo-rule "allow" reported for malformed //smartlint:allow
+// comments and misplaced directives.
 const (
 	RuleMapRange     = "maprange"
 	RuleWallclock    = "wallclock"
@@ -18,11 +20,18 @@ const (
 	RuleNakedTime    = "naketime"
 	RuleNakedRecover = "nakedrecover"
 	RuleConcurrency  = "concurrency"
+	RuleShardSafe    = "shardsafe"
+	RuleHotAlloc     = "hotalloc"
+	RuleDigestPure   = "digestpure"
 	ruleAllow        = "allow"
 )
 
 // Rules lists the rule names in a fixed presentation order.
-var Rules = []string{RuleMapRange, RuleWallclock, RuleGlobalRand, RuleFloatEq, RuleNakedTime, RuleNakedRecover, RuleConcurrency}
+var Rules = []string{
+	RuleMapRange, RuleWallclock, RuleGlobalRand, RuleFloatEq,
+	RuleNakedTime, RuleNakedRecover, RuleConcurrency,
+	RuleShardSafe, RuleHotAlloc, RuleDigestPure,
+}
 
 var knownRules = map[string]bool{
 	RuleMapRange:     true,
@@ -32,6 +41,9 @@ var knownRules = map[string]bool{
 	RuleNakedTime:    true,
 	RuleNakedRecover: true,
 	RuleConcurrency:  true,
+	RuleShardSafe:    true,
+	RuleHotAlloc:     true,
+	RuleDigestPure:   true,
 }
 
 // globalRandFns are the math/rand (and math/rand/v2) package-level

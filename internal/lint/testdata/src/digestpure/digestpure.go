@@ -1,0 +1,80 @@
+// Package digestpure exercises the environmental-taint rule: built-in
+// and annotated sources, propagation through locals and function
+// returns, the digestsink and digested-field sinks, the undigested
+// carve-out, and the allow hatch.
+package digestpure
+
+import (
+	"runtime"
+	"time"
+)
+
+// record is the digested manifest row.
+//
+//smartlint:digested
+type record struct {
+	Cycles int64
+	// WallMS mirrors obs.RunRecord.WallMS: canonicalization zeroes it,
+	// so wall-clock writes are sanctioned.
+	//
+	//smartlint:undigested
+	WallMS float64
+	Label  string
+}
+
+// fingerprint is the digest sink.
+//
+//smartlint:digestsink
+func fingerprint(recs []record) string {
+	_ = recs
+	return ""
+}
+
+// shards is an annotated environmental source, like (*Fabric).Shards.
+//
+//smartlint:taint
+func shards() int { return 1 }
+
+// sneaky carries taint through a return: the whole-program summary
+// fixpoint marks it tainted without any annotation.
+func sneaky() int64 {
+	t := time.Now().UnixNano()
+	return t
+}
+
+func build(cycles int64) record {
+	var rec record
+	rec.Cycles = cycles                                          // clean: simulated state
+	rec.WallMS = float64(time.Since(time.Time{}).Milliseconds()) // clean: undigested field
+	rec.Cycles = sneaky()                                        // want "digestpure: environment-tainted value written to digested field record.Cycles"
+	rec.Label = lit()
+	return rec
+}
+
+func lit() string { return "ok" }
+
+func digestAll() {
+	n := runtime.GOMAXPROCS(0)
+	recs := make([]record, n)
+	_ = fingerprint(recs) // want "digestpure: environment-tainted value \(wall clock, shard count, or GOMAXPROCS\) reaches digest sink"
+}
+
+func digestClean() {
+	recs := []record{{Cycles: 42, Label: "ok"}}
+	_ = fingerprint(recs)
+}
+
+func initLit() record {
+	return record{
+		Cycles: int64(shards()),            // want "digestpure: environment-tainted value initializes digested field Cycles of record"
+		WallMS: float64(time.Now().Unix()), // clean: undigested
+		Label:  lit(),
+	}
+}
+
+func allowed() record {
+	var rec record
+	//smartlint:allow digestpure — the value is clamped against simulated state upstream
+	rec.Cycles = int64(shards())
+	return rec
+}

@@ -1,0 +1,40 @@
+// Package directive exercises the annotation hygiene pass: unknown,
+// misplaced and floating directives must fail the lint run, because a
+// directive that silently attaches to nothing checks nothing.
+package directive
+
+// Typo in the directive name.
+//
+//smartlint:hotpth
+func Typo() {} // want "allow: directive //smartlint:hotpth does not apply to a function declaration"
+
+// Type directive on a function.
+//
+//smartlint:shardowned
+func Misplaced() {} // want "directive //smartlint:shardowned does not apply to a function declaration"
+
+// Function directive on a type.
+//
+//smartlint:hotpath
+type wrong struct{ n int } // want "directive //smartlint:hotpath does not apply to a type declaration"
+
+// Function directive on a struct field.
+type fields struct {
+	//smartlint:shardentry
+	n int // want "directive //smartlint:shardentry does not apply to a struct field"
+}
+
+// A directive inside a function body floats.
+func host() int {
+	//smartlint:taint
+	return 0 // want-1 "directive //smartlint:taint is not attached to a declaration it applies to"
+}
+
+// A directive on a var declaration floats too: only funcs, types and
+// fields carry contracts.
+//
+//smartlint:digested
+var counters int // want-1 "directive //smartlint:digested is not attached to a declaration it applies to"
+
+//smartlint:bogus
+var bogus = counters + host() // want-1 "unknown directive //smartlint:bogus"

@@ -1,0 +1,49 @@
+// Package hotalloc exercises the hotpath escape-analysis rule. Unlike
+// the other fixtures it must really compile — the rule shells out to
+// `go build -gcflags=-m` — so it lives at its true module import path
+// and the fixture test loads it under that path.
+package hotalloc
+
+import "fmt"
+
+// sink forces pointer escapes the compiler could otherwise elide.
+var sink any
+
+type point struct{ x int }
+
+// Boxed heap-allocates by publishing a pointer to the package sink.
+//
+//smartlint:hotpath
+func Boxed(v int) {
+	p := &point{x: v} // want "hotalloc: heap allocation in hotpath function"
+	sink = p
+}
+
+// Closure heap-allocates a closure capturing n.
+//
+//smartlint:hotpath
+func Closure(n int) func() int {
+	return func() int { return n } // want "hotalloc: heap allocation in hotpath function"
+}
+
+// Guarded allocates only inside its panic argument: exempt, a panic is
+// the end of the simulation.
+//
+//smartlint:hotpath
+func Guarded(i, n int) int {
+	if i >= n {
+		panic(fmt.Sprintf("hotalloc: index %d out of range %d", i, n))
+	}
+	return i
+}
+
+// Amortized allocates behind a justified allow.
+//
+//smartlint:hotpath
+func Amortized(n int) []int {
+	//smartlint:allow hotalloc — construction-time scratch, warm-state freedom proven by an AllocsPerRun guard
+	return make([]int, n)
+}
+
+// Cold allocates freely: unannotated functions are not checked.
+func Cold(n int) []int { return make([]int, n) }

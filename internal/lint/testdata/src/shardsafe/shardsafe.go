@@ -1,0 +1,141 @@
+// Package shardsafe exercises the whole-program shard-ownership rule:
+// write-target classification (locals, shardowned types, shardindexed
+// elements, globals, shared fields), the in-phase concurrency bans,
+// interface dispatch to loaded implementations, closure and callback
+// auditing, the shardsink boundary, and the allow hatch.
+package shardsafe
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// state is one shard's private slice of the engine.
+//
+//smartlint:shardowned
+type state struct {
+	id    int
+	count int64
+	mail  [][]int
+}
+
+// engine is shared across shards: its plain fields are not shard-owned.
+type engine struct {
+	cycle  int64
+	shards []state
+	// occupancy has one element per router; element writes are
+	// shard-local, whole-field writes are not.
+	//
+	//smartlint:shardindexed
+	occupancy []int
+	algo      chooser
+	counter   int64
+}
+
+// chooser models a routing-algorithm interface dispatched in-phase.
+type chooser interface {
+	choose(r int) int
+}
+
+// biased is the loaded chooser implementation; the rule reaches its body
+// through the dynamic call in compute.
+type biased struct{ hits []int }
+
+func (b *biased) choose(r int) int {
+	b.hits[0]++ // want "shardsafe: write to field hits of non-shard-owned type biased"
+	return r
+}
+
+var total int
+
+// compute is a per-shard compute-phase root.
+//
+//smartlint:shardentry
+func (e *engine) compute(sh *state, cycle int64) {
+	sh.count++ // shard-owned value: clean
+	sh.mail[sh.id] = append(sh.mail[sh.id], sh.id)
+	e.occupancy[sh.id]++ // one element of a shard-indexed array: clean
+	e.cycle = cycle      // want "shardsafe: write to field cycle of non-shard-owned type engine"
+	e.occupancy = nil    // want "shardsafe: write to shard-indexed field occupancy as a whole"
+	total++              // want "shardsafe: write to package-level variable total"
+	e.algo.choose(sh.id)
+	e.helper(sh)
+	e.wait(nil)
+	reset(sh)
+	bump(&sh.count)
+	e.deposit(sh, 1)
+	e.invoke(func(v int) {
+		total += v // want "shardsafe: write to package-level variable total"
+	})
+	e.invoke(record)
+}
+
+func (e *engine) helper(sh *state) {
+	go e.spin() // want "shardsafe: go statement spawns a goroutine"
+	ch := make(chan int, 1)
+	ch <- sh.id                    // want "shardsafe: channel send inside the shard compute phase"
+	<-ch                           // want "shardsafe: channel receive inside the shard compute phase"
+	var mu sync.Mutex              // want "shardsafe: sync.Mutex inside the shard compute phase"
+	mu.Lock()                      // want "shardsafe: call to \(sync.Mutex\).Lock inside the shard compute phase"
+	atomic.AddInt64(&e.counter, 1) // want "shardsafe: atomic.AddInt64 inside" // want "shardsafe: call to sync/atomic.AddInt64 inside"
+}
+
+func (e *engine) spin() {}
+
+func (e *engine) wait(ch chan int) {
+	select {}      // want "shardsafe: select inside the shard compute phase"
+	for range ch { // want "shardsafe: range over a channel inside the shard compute phase"
+	}
+}
+
+// reset shows pointer writes resolve through the pointee's type.
+func reset(s *state) {
+	(*s).count = 0 // clean: the pointee type is shard-owned
+}
+
+// bump takes a raw pointer: provenance is lost, so the write is flagged
+// even when every caller passes shard-owned memory — the rule
+// over-approximates on untyped escape hatches by design.
+func bump(c *int64) {
+	*c++ // want "shardsafe: write to dereference of pointer to non-shard-owned type int64"
+}
+
+// record is referenced as a callback value, never called directly: the
+// rule still audits it.
+func record(v int) {
+	total += v // want "shardsafe: write to package-level variable total"
+}
+
+func (e *engine) invoke(fn func(int)) {
+	_ = fn
+}
+
+// deposit is the mailbox API: the one sanctioned cross-shard write.
+// Its body is a trusted boundary and is not walked.
+//
+//smartlint:shardsink
+func (e *engine) deposit(sh *state, v int) {
+	e.cycle = int64(v)
+}
+
+// commit shows the allow hatch: the allowed call site suppresses both
+// the diagnostic and the traversal into the callee.
+//
+//smartlint:shardentry
+func (e *engine) commit(sh *state) {
+	sh.count = 0
+	//smartlint:allow shardsafe — models a Tracer callback on the serial schedule
+	e.traced()
+}
+
+func (e *engine) traced() {
+	e.cycle++
+}
+
+// dispatch calls through a func-typed parameter: unresolvable, which is
+// itself a finding.
+//
+//smartlint:shardentry
+func (e *engine) dispatch(fn func()) {
+	fn() // want "shardsafe: dynamic call cannot be resolved to any loaded implementation"
+}

@@ -19,7 +19,10 @@ import (
 //
 // This is the equality the checkpoint/resume contract promises: an
 // interrupted sweep resumed with -resume digests identically to an
-// uninterrupted one.
+// uninterrupted one. It is a digestpure sink: smartlint rejects any
+// argument derived from wall clock, shard count or GOMAXPROCS.
+//
+//smartlint:digestsink
 func Digest(recs []RunRecord) string {
 	canon := make([]RunRecord, len(recs))
 	copy(canon, recs)

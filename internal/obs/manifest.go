@@ -26,7 +26,16 @@ const RunSchemaV1 = "smart/run/v1"
 // wall-time cost. Manifests are append-only machine-readable
 // trajectories of an experiment campaign, suitable for BENCH_*.json
 // style tooling.
+//
+// The type is digested: its fields feed Digest, so the digestpure rule
+// bars writes of run-dependent values (wall clock, shard count,
+// GOMAXPROCS derivatives) to any field not marked undigested.
+//
+//smartlint:digested
 type RunRecord struct {
+	// Schema is stamped per write and zeroed by Digest.
+	//
+	//smartlint:undigested
 	Schema string `json:"schema"`
 	// Batch names the enclosing batch or study ("" for ad-hoc runs);
 	// Index is the run's position within it (config index of a batch,
@@ -43,14 +52,18 @@ type RunRecord struct {
 	Fingerprint string          `json:"fingerprint"`
 	Config      json.RawMessage `json:"config"`
 	// Sample is the windowed measurement; Cycles the simulated cycle
-	// count; WallMS the run's wall time in milliseconds.
+	// count; WallMS the run's wall time in milliseconds (zeroed by
+	// Digest — the one sanctioned wall-clock field).
 	Sample metrics.Sample `json:"sample"`
 	Cycles int64          `json:"cycles"`
-	WallMS float64        `json:"wall_ms"`
+	//smartlint:undigested
+	WallMS float64 `json:"wall_ms"`
 	// Shards is the effective fabric shard count when the run executed
 	// on the parallel engine (omitted for sequential runs). Execution
 	// detail only: results are bit-identical across shard counts, so
 	// Digest zeroes it and checkpoints replay regardless of it.
+	//
+	//smartlint:undigested
 	Shards int `json:"shards,omitempty"`
 	// Failure, when non-empty, records why the run produced no sample
 	// (a stall diagnosis, a recovered panic); Sample and Cycles are then

@@ -44,6 +44,8 @@ func (a *DOR) Name() string { return "deterministic" }
 func (a *DOR) VCs() int { return cubeVCs }
 
 // Route implements wormhole.RoutingAlgorithm.
+//
+//smartlint:hotpath
 func (a *DOR) Route(f wormhole.Router, r, inPort, inLane int, pkt wormhole.PacketID) (int, int, bool) {
 	info := f.Packet(pkt)
 	dst := int(info.Dst)
@@ -68,6 +70,8 @@ func (a *DOR) Route(f wormhole.Router, r, inPort, inLane int, pkt wormhole.Packe
 
 // lowestDiffDim returns the lowest dimension in which cur and dst differ;
 // it must not be called with cur == dst.
+//
+//smartlint:hotpath
 func lowestDiffDim(c *topology.Cube, cur, dst int) int {
 	for d := 0; d < c.N; d++ {
 		if c.Digit(cur, d) != c.Digit(dst, d) {

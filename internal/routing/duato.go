@@ -21,6 +21,8 @@ type Duato struct {
 	// fair tie-breaking among equally loaded adaptive ports. Entry r is
 	// only touched while routing at router r, so a sharded fabric's
 	// workers never contend on it.
+	//
+	//smartlint:shardindexed
 	tie []int
 }
 
@@ -39,6 +41,8 @@ func (a *Duato) Name() string { return "duato" }
 func (a *Duato) VCs() int { return cubeVCs }
 
 // Route implements wormhole.RoutingAlgorithm.
+//
+//smartlint:hotpath
 func (a *Duato) Route(f wormhole.Router, r, inPort, inLane int, pkt wormhole.PacketID) (int, int, bool) {
 	info := f.Packet(pkt)
 	dst := int(info.Dst)
@@ -87,6 +91,8 @@ func (a *Duato) Route(f wormhole.Router, r, inPort, inLane int, pkt wormhole.Pac
 
 // noteWrap records a wrap-around crossing in the packet's per-dimension
 // class bits; the escape discipline consults them at later switches.
+//
+//smartlint:hotpath
 func (a *Duato) noteWrap(info *wormhole.PacketInfo, r, port int) {
 	d, dir := a.cube.DimDirOf(port)
 	if a.cube.CrossesWrap(r, d, dir) {
@@ -98,6 +104,8 @@ func (a *Duato) noteWrap(info *wormhole.PacketInfo, r, port int) {
 // dst — one or (at the half-way point of an even ring) two directions for
 // every dimension whose coordinates differ — appending into the provided
 // buffer.
+//
+//smartlint:hotpath
 func minimalPorts(c *topology.Cube, cur, dst int, ports []int) []int {
 	for d := 0; d < c.N; d++ {
 		plus, minus := c.MinimalDirs(cur, dst, d)

@@ -58,7 +58,10 @@ type TreeAdaptive struct {
 	vcs    int
 	policy AscentPolicy
 	// tie rotates the starting point of the up-link scan per switch so
-	// that ties are broken fairly over time.
+	// that ties are broken fairly over time. Entry r is only touched
+	// while routing at switch r, which belongs to exactly one shard.
+	//
+	//smartlint:shardindexed
 	tie []int
 }
 
@@ -92,6 +95,8 @@ func (a *TreeAdaptive) Name() string {
 func (a *TreeAdaptive) VCs() int { return a.vcs }
 
 // Route implements wormhole.RoutingAlgorithm.
+//
+//smartlint:hotpath
 func (a *TreeAdaptive) Route(f wormhole.Router, r, inPort, inLane int, pkt wormhole.PacketID) (int, int, bool) {
 	info := f.Packet(pkt)
 	dst := int(info.Dst)
@@ -146,6 +151,8 @@ func (a *TreeAdaptive) Route(f wormhole.Router, r, inPort, inLane int, pkt wormh
 // bestLane picks the free lane of (r, port) within [lo, hi) with the most
 // credits, preferring lower indices on ties. It reports false when no lane
 // is free.
+//
+//smartlint:hotpath
 func bestLane(f wormhole.Router, r, port, lo, hi int) (int, bool) {
 	best, bestCredits := -1, -1
 	for l := lo; l < hi; l++ {

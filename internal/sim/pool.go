@@ -66,7 +66,11 @@ func NewPool(workers int) *Pool {
 	return p
 }
 
-// Workers returns the pool's worker count.
+// Workers returns the pool's worker count — an execution detail derived
+// from requested parallelism, so the digestpure rule bars values
+// computed from it from content digests.
+//
+//smartlint:taint
 func (p *Pool) Workers() int { return len(p.inner.work) + 1 }
 
 // Run executes fn(w) for every worker index w in [0, Workers()) — fn(0)

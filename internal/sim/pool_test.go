@@ -74,3 +74,75 @@ func TestShardPoolCloseIdempotent(t *testing.T) {
 	p.Close()
 	p.Close() // second close must not panic
 }
+
+// TestShardPoolClampsDegenerateSizes pins the sequential path: a
+// requested size of one — or a nonsense size below it — collapses to a
+// single inline worker with no goroutines behind it, so Run is a plain
+// synchronous call and unsynchronized state is safe.
+func TestShardPoolClampsDegenerateSizes(t *testing.T) {
+	for _, workers := range []int{1, 0, -3} {
+		p := NewPool(workers)
+		if p.Workers() != 1 {
+			t.Fatalf("NewPool(%d).Workers() = %d, want 1", workers, p.Workers())
+		}
+		if len(p.inner.work) != 0 {
+			t.Fatalf("NewPool(%d) spawned %d worker goroutines", workers, len(p.inner.work))
+		}
+		calls, last := 0, -1
+		p.Run(func(w int) { calls++; last = w })
+		if calls != 1 || last != 0 {
+			t.Fatalf("NewPool(%d).Run made %d calls, last worker %d", workers, calls, last)
+		}
+		p.Close()
+	}
+}
+
+// TestShardPoolMoreWorkersThanWork models a pool sized above the shard
+// count (a fabric clamped below the requested parallelism keeps its old
+// pool only when sizes match, but the barrier must hold regardless):
+// surplus workers run an empty body and every loaded worker still runs
+// exactly once per phase.
+func TestShardPoolMoreWorkersThanWork(t *testing.T) {
+	const workers, shards = 8, 3
+	p := NewPool(workers)
+	defer p.Close()
+	done := make([]int64, shards)
+	for round := 0; round < 200; round++ {
+		p.Run(func(w int) {
+			if w < shards {
+				atomic.AddInt64(&done[w], 1)
+			}
+		})
+	}
+	for w := 0; w < shards; w++ {
+		if done[w] != 200 {
+			t.Fatalf("worker %d ran %d phases, want 200", w, done[w])
+		}
+	}
+}
+
+// TestShardPoolZeroTaskBarrier drives phases that do no work at all:
+// the rendezvous must neither deadlock nor decay, and a write made
+// between two empty phases is visible to every worker after the next
+// barrier — the degenerate case of the two-phase cycle contract.
+func TestShardPoolZeroTaskBarrier(t *testing.T) {
+	const workers = 4
+	p := NewPool(workers)
+	defer p.Close()
+	for i := 0; i < 1000; i++ {
+		p.Run(func(int) {})
+	}
+	shared := 0
+	p.Run(func(w int) {
+		if w == 0 {
+			shared = 42
+		}
+	})
+	seen := make([]int, workers)
+	p.Run(func(w int) { seen[w] = shared })
+	for w, v := range seen {
+		if v != 42 {
+			t.Fatalf("worker %d read %d after empty barrier, want 42", w, v)
+		}
+	}
+}

@@ -206,3 +206,20 @@ func TestSamplerRecordRoundTrips(t *testing.T) {
 			len(rec.Points), len(rec.Events), len(pts), len(evs))
 	}
 }
+
+// TestSamplerStepAllocFree is the dynamic guard behind the sampler's
+// //smartlint:hotpath annotations: once the ring, scratch slices and
+// the bound emit closure exist, an on-cadence engine step with the
+// sampler attached performs zero heap allocations. A regression here
+// usually means something on the sample path started materializing a
+// closure or slice per call.
+func TestSamplerStepAllocFree(t *testing.T) {
+	s := newSim(t, 0.4)
+	sp := telemetry.NewSampler(s.Fabric, s.Engine, telemetry.RunInfo{}, telemetry.Config{Every: 1})
+	sp.Register(s.Engine)
+	s.Engine.Run(200) // warm up: traffic in flight, detector state settled
+	allocs := testing.AllocsPerRun(200, func() { s.Engine.Step() })
+	if allocs != 0 {
+		t.Fatalf("engine step with cadence-1 sampler allocates %.1f objects, want 0", allocs)
+	}
+}

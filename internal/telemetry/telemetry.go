@@ -103,9 +103,13 @@ type Sampler struct {
 	classes *chanstats.Classes // nil when the topology has no class map
 
 	//smartlint:allow concurrency — guards ring/detector state read by the metrics server, off the cycle path
-	mu     sync.Mutex
-	ring   *Ring
-	det    *detector
+	mu   sync.Mutex
+	ring *Ring
+	det  *detector
+	// emit is the bound emitLocked method value, captured once at
+	// construction: materializing it per sample would heap-allocate a
+	// closure on the cycle path (the hotalloc rule gates this).
+	emit   func(Event)
 	events []Event
 	// eventsTotal counts events ever emitted; events keeps the first
 	// EventCap (onset events matter more than late repeats, so the log
@@ -140,7 +144,7 @@ func NewSampler(f *wormhole.Fabric, e *sim.Engine, run RunInfo, cfg Config) *Sam
 	if err != nil {
 		panic(err) // unreachable: withDefaults guarantees a positive capacity
 	}
-	return &Sampler{
+	s := &Sampler{
 		fabric:     f,
 		engine:     e,
 		run:        run,
@@ -153,6 +157,8 @@ func NewSampler(f *wormhole.Fabric, e *sim.Engine, run RunInfo, cfg Config) *Sam
 		deltaClass: make([]int64, n),
 		classUtil:  make([]float64, n),
 	}
+	s.emit = s.emitLocked
+	return s
 }
 
 // Register adds the sampler to the engine as a trailing stage. Call it
@@ -187,6 +193,8 @@ func (s *Sampler) ClassLinks() []int64 {
 // cfg.Every cycles. The engine passes the pre-increment cycle index, so
 // the (cycle+1)%every == 0 gate matches the metrics.TimeSeries
 // convention: at cadence 100 the first sample is labeled cycle 100.
+//
+//smartlint:hotpath
 func (s *Sampler) tick(cycle int64) {
 	if (cycle+1)%s.cfg.Every != 0 {
 		return
@@ -196,6 +204,8 @@ func (s *Sampler) tick(cycle int64) {
 
 // sample reads the fabric and pushes one point. Split from tick so
 // Finish can force a final off-cadence sample.
+//
+//smartlint:hotpath
 func (s *Sampler) sample(cycle int64) {
 	f := s.fabric
 	ctr := f.Counters()
@@ -254,7 +264,7 @@ func (s *Sampler) sample(cycle int64) {
 	s.mu.Lock()
 	s.ring.Push(p)
 	names := s.ClassNames()
-	s.det.observe(o, names, s.emitLocked)
+	s.det.observe(o, names, s.emit)
 	s.mu.Unlock()
 }
 

@@ -5,19 +5,34 @@ import "fmt"
 // Partitioner is implemented by topologies that can cut their router
 // index range into contiguous shards along structural boundaries, so a
 // sharded fabric engine crosses shards on as few links as possible.
-// PartitionRouters returns shards+1 ascending cut points over
-// [0, Routers()]: shard i owns routers [cuts[i], cuts[i+1]). Cuts may
-// produce empty shards when the structure cannot be divided further.
+// PartitionRouters returns cuts+1 ascending points over [0, Routers()]:
+// shard i owns routers [cuts[i], cuts[i+1]). Implementations clamp the
+// requested count to [1, Routers()] rather than emit empty shards —
+// callers derive the effective count from len(cuts)-1 and check the
+// plan with ValidateCuts, which rejects empty shards outright.
 type Partitioner interface {
 	PartitionRouters(shards int) []int
 }
 
-// EvenCuts is the structure-blind fallback partition: shards contiguous
-// router ranges of near-equal size.
-func EvenCuts(routers, shards int) []int {
-	if shards < 1 {
-		shards = 1
+// clampShards bounds a requested shard count to what the router range
+// can populate: at least one shard, at most one router per shard. A
+// single-router (or degenerate zero-router) topology always collapses
+// to one shard.
+func clampShards(routers, shards int) int {
+	if shards < 1 || routers < 1 {
+		return 1
 	}
+	if shards > routers {
+		return routers
+	}
+	return shards
+}
+
+// EvenCuts is the structure-blind fallback partition: contiguous router
+// ranges of near-equal size. The shard count is clamped to
+// [1, routers], so no shard is ever empty.
+func EvenCuts(routers, shards int) []int {
+	shards = clampShards(routers, shards)
 	cuts := make([]int, shards+1)
 	for i := 0; i <= shards; i++ {
 		cuts[i] = i * routers / shards
@@ -56,6 +71,7 @@ func partitionGrain(routers, shards, blockMax, k int) int {
 // there are more shards than planes the slabs subdivide along the next
 // dimension down.
 func (c *Cube) PartitionRouters(shards int) []int {
+	shards = clampShards(c.nodes, shards)
 	grain := partitionGrain(c.nodes, shards, c.nodes/c.K, c.K)
 	return alignedCuts(c.nodes, shards, grain)
 }
@@ -67,12 +83,17 @@ func (c *Cube) PartitionRouters(shards int) []int {
 // groups that share parents — which keeps most up/down links inside a
 // shard when the shard count is small relative to the arity.
 func (t *Tree) PartitionRouters(shards int) []int {
+	shards = clampShards(t.Routers(), shards)
 	grain := partitionGrain(t.Routers(), shards, t.spl, t.K)
 	return alignedCuts(t.Routers(), shards, grain)
 }
 
 // ValidateCuts checks that cuts is a well-formed shard plan over
-// [0, routers]: shards+1 ascending values from 0 to routers.
+// [0, routers]: shards+1 strictly ascending values from 0 to routers.
+// An empty shard (two equal cut points) is rejected — a partitioner
+// that cannot divide further must clamp its shard count, not pad the
+// plan, because an empty shard owns no work lists yet still costs a
+// pool worker and a mailbox row.
 func ValidateCuts(cuts []int, routers, shards int) error {
 	if len(cuts) != shards+1 {
 		return fmt.Errorf("topology: partition has %d cut points, want %d", len(cuts), shards+1)
@@ -83,6 +104,9 @@ func ValidateCuts(cuts []int, routers, shards int) error {
 	for i := 0; i < shards; i++ {
 		if cuts[i] > cuts[i+1] {
 			return fmt.Errorf("topology: partition cuts %d and %d out of order (%d > %d)", i, i+1, cuts[i], cuts[i+1])
+		}
+		if cuts[i] == cuts[i+1] {
+			return fmt.Errorf("topology: partition shard %d is empty (cut %d repeated): clamp the shard count instead", i, cuts[i])
 		}
 	}
 	return nil

@@ -3,16 +3,22 @@ package topology
 import "testing"
 
 func TestShardEvenCuts(t *testing.T) {
-	for _, tc := range []struct{ routers, shards int }{
-		{16, 1}, {16, 4}, {17, 4}, {3, 8}, {100, 7},
+	for _, tc := range []struct{ routers, shards, want int }{
+		{16, 1, 1}, {16, 4, 4}, {17, 4, 4}, {100, 7, 7},
+		// Requests the range cannot populate clamp instead of padding
+		// the plan with empty shards.
+		{3, 8, 3}, {1, 4, 1}, {1, 1, 1}, {5, 0, 1}, {5, -2, 1},
 	} {
 		cuts := EvenCuts(tc.routers, tc.shards)
-		if err := ValidateCuts(cuts, tc.routers, tc.shards); err != nil {
+		if got := len(cuts) - 1; got != tc.want {
+			t.Fatalf("EvenCuts(%d, %d) = %v: effective shards %d, want %d", tc.routers, tc.shards, cuts, got, tc.want)
+		}
+		if err := ValidateCuts(cuts, tc.routers, tc.want); err != nil {
 			t.Fatalf("EvenCuts(%d, %d) = %v: %v", tc.routers, tc.shards, cuts, err)
 		}
 		// Near-equal: no shard more than one router larger than another.
 		lo, hi := tc.routers, 0
-		for i := 0; i < tc.shards; i++ {
+		for i := 0; i < tc.want; i++ {
 			n := cuts[i+1] - cuts[i]
 			if n < lo {
 				lo = n
@@ -91,5 +97,43 @@ func TestShardValidateCutsRejectsMalformed(t *testing.T) {
 	}
 	if err := ValidateCuts([]int{0, 5, 4, 8}, 8, 3); err == nil {
 		t.Fatal("descending cuts accepted")
+	}
+	if err := ValidateCuts([]int{0, 4, 4, 8}, 8, 3); err == nil {
+		t.Fatal("empty shard accepted")
+	}
+	if err := ValidateCuts([]int{0, 1, 2, 3}, 3, 3); err != nil {
+		t.Fatalf("one-router shards rejected: %v", err)
+	}
+}
+
+// TestShardPartitionClamps proves both structural partitioners clamp
+// oversubscribed requests to plans ValidateCuts accepts, down to the
+// single-router degenerate case.
+func TestShardPartitionClamps(t *testing.T) {
+	c, err := NewCube(2, 2) // 4 routers
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := NewTree(2, 2) // 4 nodes, 4 switches
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []struct {
+		name    string
+		routers int
+		part    Partitioner
+	}{
+		{"cube", c.Routers(), c}, {"tree", tr.Routers(), tr},
+	} {
+		for _, shards := range []int{1, 2, p.routers, p.routers + 1, 10 * p.routers} {
+			cuts := p.part.PartitionRouters(shards)
+			eff := len(cuts) - 1
+			if eff > p.routers || eff > shards && shards >= 1 {
+				t.Fatalf("%s: PartitionRouters(%d) = %v: effective %d exceeds bounds", p.name, shards, cuts, eff)
+			}
+			if err := ValidateCuts(cuts, p.routers, eff); err != nil {
+				t.Fatalf("%s: PartitionRouters(%d) = %v: %v", p.name, shards, cuts, err)
+			}
+		}
 	}
 }

@@ -77,6 +77,8 @@ func (c Config) validate() error {
 // nicLane is one injection stream of a NIC. With source throttling
 // (InjLanes == 1) a node has a single stream, so at most one packet is
 // entering the network at any time.
+//
+//smartlint:shardowned
 type nicLane struct {
 	cur     PacketID
 	nextSeq int32
@@ -89,6 +91,8 @@ type nicLane struct {
 // costs O(1) regardless of backlog. base is the flat index of the first
 // input lane of the router port this NIC injects into. Ejection needs no
 // state: the node consumes flits at link rate.
+//
+//smartlint:shardowned
 type nic struct {
 	queue []PacketID
 	head  int
@@ -118,7 +122,10 @@ func (nc *nic) qpop() PacketID {
 }
 
 // Counters aggregates the fabric's running totals; metrics snapshot them
-// at the warm-up boundary and at the horizon.
+// at the warm-up boundary and at the horizon. Each shard increments its
+// own instance — reads sum across shards.
+//
+//smartlint:shardowned
 type Counters struct {
 	PacketsCreated   int64
 	PacketsInjected  int64
@@ -164,7 +171,10 @@ type Fabric struct {
 	Alg RoutingAlgorithm
 	// Packets is the packet table; PacketID indexes it. Routing
 	// algorithms may mutate RouteBits; everything else is owned by the
-	// fabric.
+	// fabric. During a cycle a packet's record is only touched by the
+	// shard its flits currently occupy.
+	//
+	//smartlint:shardindexed
 	Packets []PacketInfo
 	// Tracer, when non-nil, observes routing and delivery events. A
 	// sharded fabric with a Tracer runs its phases on the serial
@@ -177,9 +187,11 @@ type Fabric struct {
 	// laid out router-major, a router's input lanes form the contiguous
 	// range in[inOff[r*deg]:inOff[(r+1)*deg]] — the routing stage's scan
 	// list, in the same (port, lane) order the jagged layout used.
-	deg    int
-	ports  []topology.Port
-	in     []inLane
+	deg   int
+	ports []topology.Port
+	//smartlint:shardindexed
+	in []inLane
+	//smartlint:shardindexed
 	out    []outLane
 	inOff  []int32
 	outOff []int32
@@ -188,16 +200,23 @@ type Fabric struct {
 	// input-lane scan range, linkRR a port's output lanes. Global arrays
 	// indexed by router/port, so each entry has exactly one owning
 	// shard.
+	//
+	//smartlint:shardindexed
 	routeRR []int32
-	linkRR  []int32
+	//smartlint:shardindexed
+	linkRR []int32
 
 	// Per-entry occupancy behind the shards' work lists: portOcc[pid]
 	// counts occupied output lanes, unrouted[r] input lanes presenting
 	// an unrouted header. Each entry is owned by the shard owning its
 	// router.
-	portOcc  []int32
+	//
+	//smartlint:shardindexed
+	portOcc []int32
+	//smartlint:shardindexed
 	unrouted []int32
 
+	//smartlint:shardindexed
 	nics []nic
 
 	// Sharding (shard.go): shards[i] owns routers
@@ -213,6 +232,8 @@ type Fabric struct {
 	// linkFlits[pid] counts flits transmitted out of port pid (including
 	// ejection ports); internal/chanstats aggregates it into per-level
 	// and per-dimension channel utilization.
+	//
+	//smartlint:shardindexed
 	linkFlits []int64
 
 	// wires[pid] holds the flits in flight on the (pipelined) wire
@@ -220,6 +241,8 @@ type Fabric struct {
 	// flight time means arrival order equals send order, so a FIFO
 	// suffices, and the credit consumed at send time guarantees the
 	// remote buffer slot on arrival.
+	//
+	//smartlint:shardindexed
 	wires []wireFIFO
 }
 
@@ -230,7 +253,10 @@ type flight struct {
 	at   int64 // arrival cycle
 }
 
-// wireFIFO is an amortized O(1) queue of flights.
+// wireFIFO is an amortized O(1) queue of flights. A wire belongs to the
+// shard owning its sending port.
+//
+//smartlint:shardowned
 type wireFIFO struct {
 	q    []flight
 	head int
@@ -508,6 +534,8 @@ func (f *Fabric) FreeLanes(r, port, lo, hi int) int {
 // pushIn places a flit into input lane id, which must belong to sh. A
 // lane transitioning from empty enters the crossbar work list (if it is
 // bound to an output) or becomes a routing candidate (if not).
+//
+//smartlint:hotpath
 func (f *Fabric) pushIn(sh *shardState, id int32, fl Flit) {
 	il := &f.in[id]
 	wasEmpty := il.n == 0
@@ -527,7 +555,12 @@ func (f *Fabric) pushIn(sh *shardState, id int32, fl Flit) {
 // otherwise (committed after the phase barrier, in ascending
 // source-shard order). Either way the flit is invisible to this cycle's
 // crossbar and routing stages — its MovedAt stamp equals the current
-// cycle — so deferral does not change the simulation.
+// cycle — so deferral does not change the simulation. This is the sole
+// sanctioned cross-shard channel of the compute phase — the shardsafe
+// rule trusts it as a sink and audits everything else.
+//
+//smartlint:shardsink
+//smartlint:hotpath
 func (f *Fabric) sendIn(sh *shardState, peer int, id int32, fl Flit) {
 	if d := f.routerShard[peer]; int(d) != sh.id {
 		sh.mailFlits[d] = append(sh.mailFlits[d], arrival{lane: id, fl: fl})
@@ -538,6 +571,8 @@ func (f *Fabric) sendIn(sh *shardState, peer int, id int32, fl Flit) {
 
 // addUnrouted records that one more input lane of router r presents an
 // unrouted header.
+//
+//smartlint:hotpath
 func (f *Fabric) addUnrouted(sh *shardState, r int) {
 	f.unrouted[r]++
 	if f.unrouted[r] == 1 {
@@ -547,6 +582,8 @@ func (f *Fabric) addUnrouted(sh *shardState, r int) {
 
 // dropUnrouted records that an input lane of router r stopped presenting
 // an unrouted header (it was bound, or drained).
+//
+//smartlint:hotpath
 func (f *Fabric) dropUnrouted(sh *shardState, r int) {
 	f.unrouted[r]--
 	if f.unrouted[r] == 0 {
@@ -556,6 +593,8 @@ func (f *Fabric) dropUnrouted(sh *shardState, r int) {
 
 // pushOut places a flit into output lane ol of port pid, activating the
 // port's link arbitration when the lane transitions from empty.
+//
+//smartlint:hotpath
 func (f *Fabric) pushOut(sh *shardState, pid int32, ol *outLane, fl Flit) {
 	if ol.n == 0 {
 		f.portOcc[pid]++
@@ -568,6 +607,8 @@ func (f *Fabric) pushOut(sh *shardState, pid int32, ol *outLane, fl Flit) {
 
 // popOut removes the front flit of output lane ol of port pid,
 // deactivating the port when its last occupied lane drains.
+//
+//smartlint:hotpath
 func (f *Fabric) popOut(sh *shardState, pid int32, ol *outLane) Flit {
 	fl := ol.pop()
 	if ol.n == 0 {
@@ -580,6 +621,8 @@ func (f *Fabric) popOut(sh *shardState, pid int32, ol *outLane) Flit {
 }
 
 // pushWire enqueues a flight on port pid's pipelined wire.
+//
+//smartlint:hotpath
 func (f *Fabric) pushWire(sh *shardState, pid int32, fl flight) {
 	w := &f.wires[pid]
 	if w.empty() {
@@ -606,6 +649,8 @@ func (f *Fabric) linkStage(cycle int64) {
 // list covers half the shard's ports a sequential index-order sweep is
 // cheaper (better locality), and because per-port decisions are mutually
 // independent the two orders produce identical results.
+//
+//smartlint:hotpath
 func (f *Fabric) linkShard(sh *shardState, cycle int64) {
 	if f.wires != nil {
 		f.commitWireArrivals(sh, cycle)
@@ -625,6 +670,8 @@ func (f *Fabric) linkShard(sh *shardState, cycle int64) {
 }
 
 // linkPort arbitrates and advances one output port for the cycle.
+//
+//smartlint:hotpath
 func (f *Fabric) linkPort(sh *shardState, pid int32, cycle int64) {
 	port := &f.ports[pid]
 	lanes := f.outLanesOf(int(pid))
@@ -693,6 +740,8 @@ func (f *Fabric) linkPort(sh *shardState, pid int32, cycle int64) {
 // time reserved the slot; cross-shard lanes go through the mailbox) or,
 // on ejection wires, into the destination NIC, which always shares the
 // sending router's shard. Only wires with flits in flight are visited.
+//
+//smartlint:hotpath
 func (f *Fabric) commitWireArrivals(sh *shardState, cycle int64) {
 	sh.scratch = append(sh.scratch[:0], sh.wireActive.items...)
 	for _, pid := range sh.scratch {
@@ -721,6 +770,8 @@ func (f *Fabric) commitWireArrivals(sh *shardState, cycle int64) {
 // the fabric asserts it on every flit. The ejection port and its NIC
 // belong to sh, and a packet is only ever in flight toward one
 // destination, so its record is written by exactly one shard.
+//
+//smartlint:hotpath
 func (f *Fabric) deliver(sh *shardState, fl Flit, cycle int64) {
 	pk := &f.Packets[fl.Packet]
 	if fl.Seq != pk.deliverNext {
@@ -737,6 +788,7 @@ func (f *Fabric) deliver(sh *shardState, fl Flit, cycle int64) {
 		pk.TailAt = cycle
 		sh.counters.PacketsDelivered++
 		if f.Tracer != nil {
+			//smartlint:allow shardsafe — a Tracer forces the serial schedule (parallelCycle uses RunSerial), so callbacks never run concurrently
 			f.Tracer.PacketDelivered(cycle, fl.Packet)
 		}
 	}
@@ -761,6 +813,8 @@ func (f *Fabric) crossbarStage(cycle int64) {
 // sweep once the list covers half the shard's lanes (better locality);
 // per-lane moves are independent because every output lane has exactly
 // one bound input, so iteration order cannot change the outcome.
+//
+//smartlint:hotpath
 func (f *Fabric) xbarShard(sh *shardState, cycle int64) {
 	if 2*sh.xbarActive.len() >= int(sh.inHi-sh.inLo) {
 		for id := sh.inLo; id < sh.inHi; id++ {
@@ -777,6 +831,8 @@ func (f *Fabric) xbarShard(sh *shardState, cycle int64) {
 }
 
 // xbarLane advances one bound input lane through the crossbar.
+//
+//smartlint:hotpath
 func (f *Fabric) xbarLane(sh *shardState, id int32, cycle int64) {
 	il := &f.in[id]
 	if il.n == 0 || il.bound == noRef {
@@ -830,6 +886,8 @@ func (f *Fabric) xbarLane(sh *shardState, id int32, cycle int64) {
 // routeRouter gives router r its one routing decision for the cycle: a
 // round-robin scan over the router's contiguous input-lane range, in the
 // same (port, lane) order a dense per-port scan would use.
+//
+//smartlint:hotpath
 func (f *Fabric) routeRouter(sh *shardState, r int, cycle int64) {
 	base := f.inOff[r*f.deg]
 	n := int(f.inOff[(r+1)*f.deg] - base)
@@ -867,6 +925,7 @@ func (f *Fabric) routeRouter(sh *shardState, r int, cycle int64) {
 			f.dropUnrouted(sh, r)
 			sh.xbarActive.add(id)
 			if f.Tracer != nil {
+				//smartlint:allow shardsafe — a Tracer forces the serial schedule (parallelCycle uses RunSerial), so callbacks never run concurrently
 				f.Tracer.HeaderRouted(cycle, fl.Packet, r, p, l, op, ol)
 			}
 		}
@@ -890,6 +949,8 @@ func (f *Fabric) routingStage(cycle int64) {
 // with at least one presented header are visited (index-order sweep once
 // half the shard's routers qualify); routing decisions are per-router
 // local, so the visiting order is immaterial.
+//
+//smartlint:hotpath
 func (f *Fabric) routeShard(sh *shardState, cycle int64) {
 	if f.Cfg.RouteEvery > 1 && cycle%int64(f.Cfg.RouteEvery) != 0 {
 		return
@@ -924,6 +985,8 @@ func (f *Fabric) injectionStage(cycle int64) {
 // (index-order sweep once half the shard's NICs qualify; NICs are
 // mutually independent, so order is immaterial); a NIC leaves the active
 // list when its queue and streams empty.
+//
+//smartlint:hotpath
 func (f *Fabric) injectShard(sh *shardState, cycle int64) {
 	if 2*sh.nicActive.len() >= sh.nHi-sh.nLo {
 		for n := sh.nLo; n < sh.nHi; n++ {
@@ -940,6 +1003,8 @@ func (f *Fabric) injectShard(sh *shardState, cycle int64) {
 }
 
 // injectNIC advances every injection stream of one NIC for the cycle.
+//
+//smartlint:hotpath
 func (f *Fabric) injectNIC(sh *shardState, n32 int32, cycle int64) {
 	nc := &f.nics[n32]
 	for l := range nc.lanes {
@@ -1003,6 +1068,8 @@ func (f *Fabric) creditStage(cycle int64) {
 
 // creditShard commits the cycle's deferred credit returns for one shard
 // (the ack lines take one cycle).
+//
+//smartlint:hotpath
 func (f *Fabric) creditShard(sh *shardState) {
 	for _, c := range sh.pendingCredits {
 		f.applyCredit(c)
@@ -1020,6 +1087,8 @@ func (f *Fabric) creditShard(sh *shardState) {
 }
 
 // applyCredit returns one buffer slot to the addressed output lane.
+//
+//smartlint:hotpath
 func (f *Fabric) applyCredit(c laneRefAt) {
 	p, l := c.ref.unpack()
 	ol := f.outLaneAt(int(c.router), p, l)

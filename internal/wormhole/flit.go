@@ -39,7 +39,10 @@ func (k FlitKind) IsTail() bool { return k&FlitTail != 0 }
 // Flit is the unit of flow control. MovedAt stamps the cycle of the flit's
 // last pipeline advance; a stage only moves flits stamped before the
 // current cycle, which enforces the one-stage-per-cycle discipline
-// independently of stage execution order.
+// independently of stage execution order. A flit is held by exactly one
+// lane, wire or mailbox at a time, so the shard holding it owns it.
+//
+//smartlint:shardowned
 type Flit struct {
 	Packet  PacketID
 	Seq     int32
@@ -48,7 +51,11 @@ type Flit struct {
 }
 
 // PacketInfo is the per-packet record kept for routing state and
-// measurement. Times are cycle indices; -1 means "not yet".
+// measurement. Times are cycle indices; -1 means "not yet". During a
+// cycle a packet's flits occupy lanes of a single router's neighborhood,
+// so exactly one shard writes the record.
+//
+//smartlint:shardowned
 type PacketInfo struct {
 	Src, Dst int32
 	// Flits is the packet length; the paper's packets are 64 bytes, i.e.

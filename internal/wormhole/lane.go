@@ -1,7 +1,11 @@
 package wormhole
 
 // fifo is a fixed-capacity ring buffer of flits — the buffer space of one
-// virtual-channel lane (4 flits in the paper's experiments).
+// virtual-channel lane (4 flits in the paper's experiments). Buffers are
+// carved from the fabric's flit arena at construction; the per-cycle
+// operations below never allocate.
+//
+//smartlint:shardowned
 type fifo struct {
 	buf  []Flit
 	head int
@@ -16,8 +20,11 @@ func (f *fifo) full() bool { return f.n == len(f.buf) }
 
 // front returns a pointer to the oldest flit; it must not be called on an
 // empty fifo.
+//
+//smartlint:hotpath
 func (f *fifo) front() *Flit { return &f.buf[f.head] }
 
+//smartlint:hotpath
 func (f *fifo) push(fl Flit) {
 	if f.full() {
 		panic("wormhole: push into full lane buffer")
@@ -26,6 +33,7 @@ func (f *fifo) push(fl Flit) {
 	f.n++
 }
 
+//smartlint:hotpath
 func (f *fifo) pop() Flit {
 	if f.n == 0 {
 		panic("wormhole: pop from empty lane buffer")
@@ -43,6 +51,8 @@ func (f *fifo) pop() Flit {
 // are fixed at construction so the crossbar and routing stages, which
 // reach lanes through flat-index work lists, can recover them without a
 // reverse lookup.
+//
+//smartlint:shardowned
 type inLane struct {
 	fifo
 	bound  laneRef
@@ -75,6 +85,8 @@ func (l *inLane) holdsWholePacket(pk *PacketInfo) bool {
 // incremented when the ack line reports the remote lane forwarded one.
 // boundIn identifies the input lane currently switched onto this lane
 // through the crossbar.
+//
+//smartlint:shardowned
 type outLane struct {
 	fifo
 	credits int16
