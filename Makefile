@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-shardsafe test race cover fuzz bench bench-fabric shard-smoke telemetry-smoke profile experiments quick clean
+.PHONY: all build vet lint lint-shardsafe test race cover fuzz bench bench-fabric shard-smoke telemetry-smoke fault-smoke profile experiments quick clean
 
 all: build lint test
 
@@ -31,13 +31,15 @@ race:
 cover:
 	sh scripts/cover.sh
 
-# Short local fuzz pass over the three fuzz targets (30s each); CI runs
-# the same budget on every push. Longer soaks: raise FUZZTIME.
+# Short local fuzz pass over the fuzz targets (30s each); CI runs the
+# same budget on every push. Longer soaks: raise FUZZTIME.
 FUZZTIME ?= 30s
 fuzz:
 	$(GO) test ./internal/oracle -run '^$$' -fuzz FuzzFabricVsOracle -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/oracle -run '^$$' -fuzz FuzzFaultSchedule -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/routing -run '^$$' -fuzz FuzzRouteCube -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/routing -run '^$$' -fuzz FuzzRouteTree -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/faults -run '^$$' -fuzz FuzzFaultSpec -fuzztime $(FUZZTIME)
 
 # One benchmark per table, figure and ablation of the paper.
 bench:
@@ -75,6 +77,12 @@ lint-shardsafe:
 # validation, and the kill-and-resume digest contract. See DESIGN.md §11.
 telemetry-smoke:
 	sh scripts/telemetry_smoke.sh
+
+# End-to-end fault-injection check: a faulted bursty run diffed across
+# shard counts and invocations, plus the smart/faults/v1 schedule-file
+# round trip. See DESIGN.md §14.
+fault-smoke:
+	bash scripts/fault_smoke.sh
 
 # A short instrumented sweep: CPU profile in cpu.prof plus the live
 # progress line and per-stage engine timing report on stderr.

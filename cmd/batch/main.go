@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"smart/internal/core"
+	"smart/internal/faults"
 	"smart/internal/obs"
 	"smart/internal/resilience"
 	"smart/internal/results"
@@ -48,6 +49,8 @@ func main() {
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel simulations")
 	scaffold := flag.Bool("scaffold", false, "print a template batch file and exit")
 	shards := flag.Int("shards", 1, "fabric shards per run (0 = auto from network size and GOMAXPROCS; results are bit-identical)")
+	faultsFlag := flag.String("faults", "", "fault schedule (spec or smart/faults/v1 JSONL file) for configs that set none")
+	burstFlag := flag.String("burst", "", "bursty injection (mmpp:<dwellOn>:<dwellOff>:<peak>) for configs that set none")
 	flag.Parse()
 
 	if *scaffold {
@@ -79,9 +82,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, "batch:", err)
 		os.Exit(1)
 	}
+	faultsSpec, err := faults.ResolveFlag(*faultsFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "batch:", err)
+		os.Exit(1)
+	}
 	for i := range b.Configs {
 		if b.Configs[i].WatchdogCycles == 0 {
 			b.Configs[i].WatchdogCycles = resFlags.Watchdog
+		}
+		if b.Configs[i].Faults == "" {
+			b.Configs[i].Faults = faultsSpec
+		}
+		if b.Configs[i].Burst == "" {
+			b.Configs[i].Burst = *burstFlag
 		}
 	}
 

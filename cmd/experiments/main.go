@@ -24,6 +24,7 @@ import (
 
 	"smart/internal/core"
 	"smart/internal/cost"
+	"smart/internal/faults"
 	"smart/internal/obs"
 	"smart/internal/resilience"
 	"smart/internal/results"
@@ -51,12 +52,20 @@ func main() {
 	telFlags := telemetry.AddFlags(flag.CommandLine)
 	quick := flag.Bool("quick", false, "coarse grid and short horizon (preview quality)")
 	ablate := flag.Bool("ablations", false, "also run the extension/ablation studies")
+	degraded := flag.Bool("degraded", false, "also run the degraded-operation study (clean vs faulted vs bursty saturation)")
+	faultsFlag := flag.String("faults", "", "fault schedule applied to every grid run (spec or smart/faults/v1 JSONL file); deterministic cube routing is fault-oblivious and may wedge — pair with -watchdog")
+	burst := flag.String("burst", "", "bursty injection applied to every grid run (mmpp:<dwellOn>:<dwellOff>:<peak>)")
 	seed := flag.Uint64("seed", 1, "random seed")
 	csvDir := flag.String("csvdir", "", "write every series as CSV files into this directory")
 	manifestPath := flag.String("manifest", "", "append one JSONL run record per simulation to this file")
 	selfCheck := flag.Bool("selfcheck", false, "shadow every run with the reference oracle simulator in lockstep (slow; fails at the first divergent cycle)")
 	shards := flag.Int("shards", 1, "fabric shards per run (0 = auto from network size and GOMAXPROCS; results are bit-identical)")
 	flag.Parse()
+
+	faultsSpec, err := faults.ResolveFlag(*faultsFlag)
+	if err != nil {
+		fatal(err)
+	}
 
 	step := 0.05
 	var warmup, horizon int64 // 0 = paper defaults
@@ -84,6 +93,9 @@ func main() {
 		fmt.Print(", paper methodology (warm-up 2000, horizon 20000)")
 	}
 	fmt.Println()
+	if faultsSpec != "" || *burst != "" {
+		fmt.Printf("DEGRADED grid: faults=%q burst=%q (paper columns assume a clean fabric)\n", faultsSpec, *burst)
+	}
 	fmt.Println()
 
 	// ---- Tables 1 and 2 ----
@@ -159,6 +171,7 @@ func main() {
 			cfg.Seed = *seed
 			cfg.Warmup, cfg.Horizon = warmup, horizon
 			cfg.WatchdogCycles = resFlags.Watchdog
+			cfg.Faults, cfg.Burst = faultsSpec, *burst
 			o := opts
 			o.Batch = cfg.Label() + "/" + pattern
 			swept, err := core.SweepWith(cfg, loads, runtime.GOMAXPROCS(0), o)
@@ -250,6 +263,10 @@ func main() {
 	fmt.Print(results.FormatTable(headers, rows))
 	writeCSV(*csvDir, "scorecard.csv", headers, rows)
 	fmt.Println()
+
+	if *degraded {
+		runDegraded(loads, warmup, horizon, *seed, *csvDir, opts, elapsed)
+	}
 
 	if *ablate {
 		runAblations(loads, warmup, horizon, *seed, *csvDir)

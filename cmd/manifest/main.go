@@ -1,20 +1,27 @@
-// Command manifest inspects JSONL run manifests (smart/run/v1 and v2).
+// Command manifest inspects JSONL run manifests (smart/run/v1 through
+// v3) and fault schedules (smart/faults/v1).
 //
 //	manifest runs.jsonl              # per-file summary: records, failures, batches
+//	manifest faults.jsonl            # fault-schedule summary: events, canonical spec
 //	manifest -digest a.jsonl b.jsonl # canonical content digest per file
 //
 // The digest is order- and wall-time-independent (see obs.Digest), so
 // it is the right equality for the checkpoint/resume contract: an
 // interrupted sweep resumed with -resume digests identically to an
 // uninterrupted reference run. CI's resume smoke job relies on exactly
-// this comparison.
+// this comparison. A fault schedule's digest hashes its canonical spec,
+// so re-encoded schedules with the same semantics digest equal.
 package main
 
 import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"flag"
 	"fmt"
 	"os"
 
+	"smart/internal/faults"
 	"smart/internal/obs"
 	"smart/internal/order"
 )
@@ -27,12 +34,24 @@ func main() {
 		os.Exit(2)
 	}
 	for _, path := range flag.Args() {
-		f, err := os.Open(path)
+		data, err := os.ReadFile(path)
 		if err != nil {
 			fatal(err)
 		}
-		recs, err := obs.DecodeManifest(f)
-		f.Close()
+		if isFaultsFile(data) {
+			sched, err := faults.Decode(bytes.NewReader(data))
+			if err != nil {
+				fatal(fmt.Errorf("%s: %w", path, err))
+			}
+			if *digest {
+				sum := sha256.Sum256([]byte(sched.Canonical()))
+				fmt.Printf("%s  %s\n", hex.EncodeToString(sum[:]), path)
+				continue
+			}
+			summarizeFaults(path, sched)
+			continue
+		}
+		recs, err := obs.DecodeManifest(bytes.NewReader(data))
 		if err != nil {
 			fatal(fmt.Errorf("%s: %w", path, err))
 		}
@@ -44,8 +63,32 @@ func main() {
 	}
 }
 
+// isFaultsFile sniffs the header line of a smart/faults/v1 schedule.
+func isFaultsFile(data []byte) bool {
+	line := data
+	if i := bytes.IndexByte(data, '\n'); i >= 0 {
+		line = data[:i]
+	}
+	return bytes.Contains(line, []byte(faults.Schema))
+}
+
+func summarizeFaults(path string, sched faults.Schedule) {
+	downs, ups := 0, 0
+	for _, ev := range sched {
+		if ev.Kind == faults.LinkDown || ev.Kind == faults.RouterDown {
+			downs++
+		} else {
+			ups++
+		}
+	}
+	fmt.Printf("%s: fault schedule (%s), %d events (%d down, %d up)\n", path, faults.Schema, len(sched), downs, ups)
+	if spec := sched.Canonical(); spec != "" {
+		fmt.Printf("  canonical: %s\n", spec)
+	}
+}
+
 func summarize(path string, recs []obs.RunRecord) {
-	completed, failed := 0, 0
+	completed, failed, faulted := 0, 0, 0
 	batches := map[string]int{}
 	for _, rec := range recs {
 		if rec.Failure != "" {
@@ -53,9 +96,15 @@ func summarize(path string, recs []obs.RunRecord) {
 		} else {
 			completed++
 		}
+		if rec.Faults != "" {
+			faulted++
+		}
 		batches[rec.Batch]++
 	}
 	fmt.Printf("%s: %d records (%d completed, %d failed), digest %s\n", path, len(recs), completed, failed, obs.Digest(recs))
+	if faulted > 0 {
+		fmt.Printf("  %d records carry a fault schedule\n", faulted)
+	}
 	for _, name := range order.Keys(batches) {
 		label := name
 		if label == "" {

@@ -16,6 +16,7 @@ import (
 
 	"smart/internal/chanstats"
 	"smart/internal/core"
+	"smart/internal/faults"
 	"smart/internal/obs"
 	"smart/internal/telemetry"
 	"smart/internal/topology"
@@ -36,6 +37,9 @@ func main() {
 	flag.StringVar(&cfg.Pattern, "pattern", "uniform", "traffic pattern: uniform, complement, bitrev, transpose, tornado, shuffle, neighbor, hotspot")
 	flag.Float64Var(&cfg.Load, "load", 0.4, "offered bandwidth as a fraction of capacity")
 	flag.Float64Var(&cfg.HotspotFraction, "hotfrac", 0, "hotspot traffic fraction (hotspot pattern)")
+	flag.Int64Var(&cfg.HotspotPeriod, "hotperiod", 0, "rotate the hotspot pattern's hot node every N cycles (0 = fixed)")
+	faultsFlag := flag.String("faults", "", "fault schedule: spec like link:R:P@C1-C2,router:R@C,rand-links:N@C — or a smart/faults/v1 JSONL file")
+	flag.StringVar(&cfg.Burst, "burst", "", "bursty injection: mmpp:<dwellOn>:<dwellOff>:<peak>")
 	flag.Uint64Var(&cfg.Seed, "seed", 1, "random seed")
 	flag.Int64Var(&cfg.Warmup, "warmup", 0, "warm-up cycles before measurement (default 2000)")
 	flag.Int64Var(&cfg.Horizon, "horizon", 0, "total simulated cycles (default 20000)")
@@ -47,6 +51,11 @@ func main() {
 	flag.Parse()
 	cfg.Network = core.NetworkKind(network)
 	cfg.Algorithm = alg
+	var err error
+	if cfg.Faults, err = faults.ResolveFlag(*faultsFlag); err != nil {
+		fmt.Fprintln(os.Stderr, "netsim:", err)
+		os.Exit(1)
+	}
 
 	stopProf, err := obsFlags.Start()
 	if err != nil {
@@ -96,6 +105,13 @@ func main() {
 	fmt.Printf("                 %.1f cycles p95, %.1f cycles head mean\n", s.P95Latency, s.AvgHeadLatency)
 	fmt.Printf("packets          %d delivered, %d created in window, %.2f switch hops mean\n",
 		s.PacketsDelivered, s.PacketsCreated, s.AvgHops)
+	if sm.Fabric.HasFaults() {
+		fmt.Printf("faults           %d events applied, %d fault stalls, %d draws dropped at dead endpoints\n",
+			sm.Faults.Applied(), sm.Fabric.FaultStalls(), sm.Injector.Dropped())
+		if rr, ok := sm.Fabric.Alg.(interface{ Rerouted() int64 }); ok {
+			fmt.Printf("                 %d headers rerouted around fault masks\n", rr.Rerouted())
+		}
+	}
 	if s.CreatedLoad-s.Accepted > 0.02 {
 		fmt.Println()
 		fmt.Println("the network is saturated at this offered load")

@@ -45,6 +45,7 @@ import (
 	"time"
 
 	"smart/internal/core"
+	"smart/internal/faults"
 	"smart/internal/obs"
 	"smart/internal/plot"
 	"smart/internal/resilience"
@@ -67,6 +68,8 @@ func main() {
 	flag.StringVar(&alg, "alg", "", "routing algorithm")
 	flag.IntVar(&cfg.VCs, "vcs", 0, "virtual channels")
 	flag.StringVar(&cfg.Pattern, "pattern", "uniform", "traffic pattern")
+	faultsFlag := flag.String("faults", "", "fault schedule: spec like link:R:P@C1-C2,router:R@C,rand-links:N@C — or a smart/faults/v1 JSONL file")
+	flag.StringVar(&cfg.Burst, "burst", "", "bursty injection: mmpp:<dwellOn>:<dwellOff>:<peak>")
 	flag.Uint64Var(&cfg.Seed, "seed", 1, "random seed")
 	flag.Int64Var(&cfg.Warmup, "warmup", 0, "warm-up cycles (default 2000)")
 	flag.Int64Var(&cfg.Horizon, "horizon", 0, "horizon cycles (default 20000)")
@@ -80,6 +83,11 @@ func main() {
 	cfg.Network = core.NetworkKind(network)
 	cfg.Algorithm = alg
 	cfg.WatchdogCycles = resFlags.Watchdog
+	var ferr error
+	if cfg.Faults, ferr = faults.ResolveFlag(*faultsFlag); ferr != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", ferr)
+		os.Exit(1)
+	}
 	if quick {
 		step = 0.1
 		if cfg.Warmup == 0 {

@@ -100,6 +100,19 @@ type Config struct {
 	// (default 1). Values above one model pipelined long wires — the
 	// alternative to folding the wire delay into a stretched clock.
 	LinkCycles int
+	// Faults is a deterministic fault schedule: either the textual spec
+	// grammar of internal/faults ("link:R:P@C1-C2,rand-links:N@C,...") or
+	// the canonical form of a decoded JSONL schedule. Random clauses are
+	// expanded with a seed derived from the fingerprint, so the schedule
+	// is a pure function of the configuration. Empty means no faults.
+	Faults string `json:",omitempty"`
+	// Burst is a traffic-modulation spec ("mmpp:<dwellOn>:<dwellOff>:<peak>");
+	// empty means the stationary Bernoulli process.
+	Burst string `json:",omitempty"`
+	// HotspotPeriod, with the hotspot pattern, moves the hot node to the
+	// next id every HotspotPeriod cycles (the time-varying adversary);
+	// zero keeps the hot node fixed.
+	HotspotPeriod int64 `json:",omitempty"`
 }
 
 // Paper-default methodology constants.
@@ -155,6 +168,31 @@ func (c Config) WithDefaults() Config {
 	return c
 }
 
+// legacyConfig mirrors the Config fields that existed when fingerprints
+// were first pinned into manifests and checkpoints, in their original
+// order. Fingerprint formats this shadow struct so configurations that
+// predate the fault/burst fields keep their published identities; the
+// newer fields are appended only when set.
+type legacyConfig struct {
+	Network         NetworkKind
+	K, N            int
+	Algorithm       string
+	VCs             int
+	BufDepth        int
+	PacketBytes     int
+	Pattern         string
+	Load            float64
+	HotspotFraction float64
+	Seed            uint64
+	Warmup, Horizon int64
+	InjLanes        int
+	WatchdogCycles  int64
+	StoreAndForward bool
+	RouteEvery      int
+	TreeAscent      string
+	LinkCycles      int
+}
+
 // Fingerprint returns a short stable hash of the fully-defaulted
 // configuration — the run identity stamped into logs, manifests and
 // batch errors. Configurations that differ only in unset-versus-default
@@ -162,7 +200,30 @@ func (c Config) WithDefaults() Config {
 func (c Config) Fingerprint() string {
 	c = c.WithDefaults()
 	h := fnv.New64a()
-	fmt.Fprintf(h, "%+v", c)
+	fmt.Fprintf(h, "%+v", legacyConfig{
+		Network:         c.Network,
+		K:               c.K,
+		N:               c.N,
+		Algorithm:       c.Algorithm,
+		VCs:             c.VCs,
+		BufDepth:        c.BufDepth,
+		PacketBytes:     c.PacketBytes,
+		Pattern:         c.Pattern,
+		Load:            c.Load,
+		HotspotFraction: c.HotspotFraction,
+		Seed:            c.Seed,
+		Warmup:          c.Warmup,
+		Horizon:         c.Horizon,
+		InjLanes:        c.InjLanes,
+		WatchdogCycles:  c.WatchdogCycles,
+		StoreAndForward: c.StoreAndForward,
+		RouteEvery:      c.RouteEvery,
+		TreeAscent:      c.TreeAscent,
+		LinkCycles:      c.LinkCycles,
+	})
+	if c.Faults != "" || c.Burst != "" || c.HotspotPeriod != 0 {
+		fmt.Fprintf(h, "|faults=%s|burst=%s|hotperiod=%d", c.Faults, c.Burst, c.HotspotPeriod)
+	}
 	return fmt.Sprintf("%016x", h.Sum64())
 }
 
@@ -214,6 +275,12 @@ func (c Config) buildAlgorithm(top topology.Topology) (wormhole.RoutingAlgorithm
 		case AlgDeterministic:
 			return routing.NewDOR(t), nil
 		case AlgDuato:
+			// Fault-aware detours keep per-dimension direction locks in
+			// PacketInfo.RouteBits; the bit layout caps the dimension
+			// count at 8 when faults are enabled.
+			if c.Faults != "" && c.N > 8 {
+				return nil, fmt.Errorf("core: duato fault rerouting supports at most 8 dimensions, got n=%d", c.N)
+			}
 			return routing.NewDuato(t), nil
 		default:
 			return nil, fmt.Errorf("core: algorithm %q is not defined on the cube", c.Algorithm)
@@ -226,6 +293,12 @@ func (c Config) buildAlgorithm(top topology.Topology) (wormhole.RoutingAlgorithm
 // buildPattern constructs the traffic benchmark.
 func (c Config) buildPattern(top topology.Topology) (traffic.Pattern, error) {
 	nodes := top.Nodes()
+	if c.HotspotPeriod < 0 {
+		return nil, fmt.Errorf("core: HotspotPeriod %d must be non-negative", c.HotspotPeriod)
+	}
+	if c.HotspotPeriod != 0 && c.Pattern != PatternHotspot {
+		return nil, fmt.Errorf("core: HotspotPeriod applies to the hotspot pattern only, got %q", c.Pattern)
+	}
 	switch c.Pattern {
 	case PatternUniform:
 		return traffic.NewUniform(nodes)
@@ -240,6 +313,9 @@ func (c Config) buildPattern(top topology.Topology) (traffic.Pattern, error) {
 	case PatternNeighbor:
 		return traffic.NewNeighbor(nodes)
 	case PatternHotspot:
+		if c.HotspotPeriod > 0 {
+			return traffic.NewRotatingHotspot(nodes, c.HotspotPeriod, c.HotspotFraction)
+		}
 		return traffic.NewHotspot(nodes, 0, c.HotspotFraction)
 	case PatternTornado:
 		cube, ok := top.(*topology.Cube)

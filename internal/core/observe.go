@@ -231,6 +231,7 @@ func runRecord(res Result, cycles int64, wall time.Duration, shards int, opts Op
 		Sample:      res.Sample,
 		Cycles:      cycles,
 		WallMS:      wallMS(wall),
+		Faults:      cfg.Faults,
 	}
 	if shards > 1 {
 		rec.Shards = shards
@@ -367,6 +368,7 @@ func failureRecord(cfg Config, index int, batch string, err error) obs.RunRecord
 		Fingerprint: full.Fingerprint(),
 		Config:      raw,
 		Failure:     failureText(err),
+		Faults:      full.Faults,
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"runtime"
 
 	"smart/internal/cost"
+	"smart/internal/faults"
 	"smart/internal/metrics"
 	"smart/internal/phys"
 	"smart/internal/sim"
@@ -23,6 +24,8 @@ type Simulation struct {
 	Injector *traffic.Injector
 	Engine   *sim.Engine
 	Window   *metrics.Window
+	// Faults is the fault-schedule controller, nil without Config.Faults.
+	Faults *faults.Controller
 	// Shards is the effective fabric shard count (>= 1). It is an
 	// execution detail — results are bit-identical for every value — so
 	// it lives outside Config and its fingerprint.
@@ -119,6 +122,24 @@ func NewSimulationShards(cfg Config, shards int) (*Simulation, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Burst != "" {
+		mod, err := traffic.ParseBurst(cfg.Burst, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		inj.SetModulator(mod)
+	}
+	var ctl *faults.Controller
+	if cfg.Faults != "" {
+		// Random clauses expand with a fingerprint-derived seed, so the
+		// realized schedule is a pure function of the configuration.
+		sched, err := faults.Parse(cfg.Faults, top, faults.SeedFrom(cfg.Fingerprint()))
+		if err != nil {
+			return nil, err
+		}
+		ctl = faults.NewController(sched, fabric)
+		inj.SetAvailability(fabric.NodeUp)
+	}
 	window, err := metrics.NewWindow(fabric, capFlits)
 	if err != nil {
 		return nil, err
@@ -127,13 +148,18 @@ func NewSimulationShards(cfg Config, shards int) (*Simulation, error) {
 		return nil, err
 	}
 	engine := sim.NewEngine()
-	// The traffic process runs first in the cycle so a packet created in
-	// a cycle can begin injecting the same cycle; the fabric then runs
-	// its canonical link / crossbar / routing / injection / credits order
-	// (fused into the two-phase driver when sharded).
+	// The fault stage runs first so a cycle's masks are in place before
+	// any traffic or fabric work; the traffic process runs next so a
+	// packet created in a cycle can begin injecting the same cycle; the
+	// fabric then runs its canonical link / crossbar / routing /
+	// injection / credits order (fused into the two-phase driver when
+	// sharded).
+	if ctl != nil {
+		ctl.Register(engine)
+	}
 	inj.Register(engine)
 	fabric.Register(engine)
-	return &Simulation{Config: cfg, Top: top, Fabric: fabric, Injector: inj, Engine: engine, Window: window, Shards: fabric.Shards()}, nil
+	return &Simulation{Config: cfg, Top: top, Fabric: fabric, Injector: inj, Engine: engine, Window: window, Faults: ctl, Shards: fabric.Shards()}, nil
 }
 
 // Run executes the experiment with the paper's methodology and returns

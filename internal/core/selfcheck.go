@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"smart/internal/faults"
 	"smart/internal/metrics"
 	"smart/internal/oracle"
 	"smart/internal/phys"
@@ -43,11 +44,32 @@ func (s *Simulation) selfCheckTwin() (*oracle.Sim, *sim.Engine, *metrics.Window,
 	if err != nil {
 		return nil, nil, nil, err
 	}
+	if cfg.Burst != "" {
+		// An independently constructed chain from the same seed steps in
+		// lockstep with the fabric side's.
+		mod, err := traffic.ParseBurst(cfg.Burst, cfg.Seed)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		inj.SetModulator(mod)
+	}
+	var ctl *faults.Controller
+	if cfg.Faults != "" {
+		sched, err := faults.Parse(cfg.Faults, top, faults.SeedFrom(cfg.Fingerprint()))
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		ctl = faults.NewController(sched, ora)
+		inj.SetAvailability(ora.NodeUp)
+	}
 	window, err := metrics.NewWindow(ora, capFlits)
 	if err != nil {
 		return nil, nil, nil, err
 	}
 	engine := sim.NewEngine()
+	if ctl != nil {
+		ctl.Register(engine)
+	}
 	inj.Register(engine)
 	ora.Register(engine)
 	return ora, engine, window, nil

@@ -13,12 +13,17 @@ import (
 // RunSchema versions the manifest record layout. Decoders reject
 // records whose schema they do not understand. v2 added the Failure
 // field: a grid no longer aborts on the first bad config, so failed
-// runs appear in the manifest alongside completed ones.
-const RunSchema = "smart/run/v2"
+// runs appear in the manifest alongside completed ones. v3 added the
+// Faults field carrying the run's canonical fault schedule.
+const RunSchema = "smart/run/v3"
 
-// RunSchemaV1 is the previous layout, still accepted on decode: a v1
-// record is a v2 record with no failure.
-const RunSchemaV1 = "smart/run/v1"
+// RunSchemaV2 and RunSchemaV1 are previous layouts, still accepted on
+// decode: a v2 record is a v3 record with no faults, a v1 record
+// additionally has no failure.
+const (
+	RunSchemaV2 = "smart/run/v2"
+	RunSchemaV1 = "smart/run/v1"
+)
 
 // RunRecord is one line of a JSONL run manifest: everything needed to
 // identify, reproduce and score a single simulation — the declarative
@@ -69,6 +74,11 @@ type RunRecord struct {
 	// (a stall diagnosis, a recovered panic); Sample and Cycles are then
 	// zero. Introduced with smart/run/v2.
 	Failure string `json:"failure,omitempty"`
+	// Faults is the run's fault schedule spec (Config.Faults verbatim;
+	// empty for unfaulted runs). An outcome field — a faulted run is a
+	// different experiment — so the digest keeps it. Introduced with
+	// smart/run/v3.
+	Faults string `json:"faults,omitempty"`
 }
 
 // ManifestWriter appends RunRecords to a stream as JSONL, one record
@@ -113,7 +123,7 @@ func DecodeManifest(r io.Reader) ([]RunRecord, error) {
 			}
 			return nil, fmt.Errorf("obs: decoding manifest record %d: %w", len(recs), err)
 		}
-		if rec.Schema != RunSchema && rec.Schema != RunSchemaV1 {
+		if rec.Schema != RunSchema && rec.Schema != RunSchemaV2 && rec.Schema != RunSchemaV1 {
 			return nil, fmt.Errorf("obs: manifest record %d has unknown schema %q (want %q)", len(recs), rec.Schema, RunSchema)
 		}
 		recs = append(recs, rec)

@@ -1,0 +1,164 @@
+package oracle
+
+import (
+	"fmt"
+
+	"smart/internal/topology"
+)
+
+// Fault masking, transcribed from the same prose as the fabric's
+// (DESIGN.md §14): a downed link transfers nothing, a downed router
+// additionally freezes its crossbar, routing decision and attached NIC.
+// Masks gate the stages and destroy no buffered state. The oracle keeps
+// the masks jagged per router, like everything else here.
+type faultState struct {
+	// linkDown[r][p] is the mask refcount of the direction leaving
+	// router r's port p; both directions of a link move together, and a
+	// dead router adds one count to every incident direction.
+	linkDown [][]int16
+	// routerDown[r] is the per-router mask refcount.
+	routerDown  []int16
+	downLinks   int
+	downRouters int
+}
+
+// ensureFaults lazily allocates the mask arrays.
+func (s *Sim) ensureFaults() {
+	if s.flt != nil {
+		return
+	}
+	flt := &faultState{
+		linkDown:   make([][]int16, s.Top.Routers()),
+		routerDown: make([]int16, s.Top.Routers()),
+	}
+	for r := range flt.linkDown {
+		flt.linkDown[r] = make([]int16, s.Top.Degree())
+	}
+	s.flt = flt
+}
+
+// HasFaults reports whether any fault has ever been injected.
+func (s *Sim) HasFaults() bool { return s.flt != nil }
+
+// blocked reports whether the direction leaving (r, p) may transfer.
+func (flt *faultState) blocked(r, p int) bool {
+	return flt.linkDown[r][p] > 0 || flt.routerDown[r] > 0
+}
+
+// setLinkMask adjusts both directions of the link at (r, p) and the
+// down-link gauge, counted on the canonical (smaller (router, port))
+// direction.
+func (s *Sim) setLinkMask(r, p int, down bool) {
+	flt := s.flt
+	tp := s.Top.RouterPorts(r)[p]
+	cr, cp := r, p
+	if tp.Peer < cr || (tp.Peer == cr && tp.PeerPort < cp) {
+		cr, cp = tp.Peer, tp.PeerPort
+	}
+	var d int16 = 1
+	if !down {
+		d = -1
+	}
+	was := flt.linkDown[cr][cp] > 0
+	flt.linkDown[r][p] += d
+	if tp.Peer != r || tp.PeerPort != p {
+		flt.linkDown[tp.Peer][tp.PeerPort] += d
+	}
+	if flt.linkDown[cr][cp] < 0 {
+		panic(fmt.Sprintf("oracle: unbalanced link-up at router %d port %d", r, p))
+	}
+	now := flt.linkDown[cr][cp] > 0
+	if now && !was {
+		flt.downLinks++
+	}
+	if was && !now {
+		flt.downLinks--
+	}
+}
+
+// SetLinkDown masks (or unmasks) the bidirectional link at router r's
+// port p.
+func (s *Sim) SetLinkDown(r, p int, down bool) {
+	s.ensureFaults()
+	if s.Top.RouterPorts(r)[p].Kind != topology.PortRouter {
+		panic(fmt.Sprintf("oracle: SetLinkDown(%d, %d) is not a router-router link", r, p))
+	}
+	s.setLinkMask(r, p, down)
+}
+
+// SetRouterDown masks (or unmasks) router r, masking all incident
+// router-router links alongside on the 0↔1 transition.
+func (s *Sim) SetRouterDown(r int, down bool) {
+	s.ensureFaults()
+	flt := s.flt
+	var d int16 = 1
+	if !down {
+		d = -1
+	}
+	was := flt.routerDown[r] > 0
+	flt.routerDown[r] += d
+	if flt.routerDown[r] < 0 {
+		panic(fmt.Sprintf("oracle: unbalanced router-up for router %d", r))
+	}
+	now := flt.routerDown[r] > 0
+	if was == now {
+		return
+	}
+	if now {
+		flt.downRouters++
+	} else {
+		flt.downRouters--
+	}
+	for p, tp := range s.Top.RouterPorts(r) {
+		if tp.Kind != topology.PortRouter {
+			continue
+		}
+		s.setLinkMask(r, p, now)
+	}
+}
+
+// LinkUp implements wormhole.Router.
+func (s *Sim) LinkUp(r, port int) bool {
+	flt := s.flt
+	if flt == nil {
+		return true
+	}
+	if flt.routerDown[r] > 0 {
+		return false
+	}
+	switch s.Top.RouterPorts(r)[port].Kind {
+	case topology.PortRouter:
+		return flt.linkDown[r][port] == 0
+	case topology.PortNode:
+		return true
+	}
+	return false
+}
+
+// NodeUp reports whether node n's attach router is alive.
+func (s *Sim) NodeUp(n int) bool {
+	if s.flt == nil {
+		return true
+	}
+	return s.flt.routerDown[s.Top.NodeAttach(n).Router] == 0
+}
+
+// DownLinks returns the number of physical links currently masked.
+func (s *Sim) DownLinks() int {
+	if s.flt == nil {
+		return 0
+	}
+	return s.flt.downLinks
+}
+
+// DownRouters returns the number of routers currently masked.
+func (s *Sim) DownRouters() int {
+	if s.flt == nil {
+		return 0
+	}
+	return s.flt.downRouters
+}
+
+// FaultStalls returns the suppressed transfer opportunities, counted
+// identically to the fabric: one per occupied masked port per cycle.
+func (s *Sim) FaultStalls() int64 { return s.faultStalls }

@@ -106,6 +106,11 @@ type Sim struct {
 	inFlight int64
 	queued   int64
 	cycle    int64
+
+	// flt holds the fault masks (faults.go); nil until the first fault
+	// is injected.
+	flt         *faultState
+	faultStalls int64
 }
 
 // laneAddr addresses an output lane anywhere in the network.
@@ -313,6 +318,18 @@ func (s *Sim) linkPort(r, p int, cycle int64) {
 	if n == 0 {
 		return
 	}
+	if s.flt != nil && s.flt.blocked(r, p) {
+		// A masked port holds its buffered flits in place; count one
+		// suppressed transfer opportunity when there was anything to
+		// send, matching the fabric (which only visits occupied ports).
+		for l := 0; l < n; l++ {
+			if len(lanes[l].buf) > 0 {
+				s.faultStalls++
+				break
+			}
+		}
+		return
+	}
 	start := s.linkRR[r][p]
 	switch tp.Kind {
 	case topology.PortRouter:
@@ -442,6 +459,9 @@ func (s *Sim) crossbarStage(cycle int64) {
 
 // xbarLane advances one input lane through the crossbar.
 func (s *Sim) xbarLane(r, p, l int, cycle int64) {
+	if s.flt != nil && s.flt.routerDown[r] > 0 {
+		return // dead router: crossbar frozen, bindings held
+	}
 	il := &s.routers[r][p].in[l]
 	if len(il.buf) == 0 || il.boundPort < 0 {
 		return
@@ -490,6 +510,9 @@ func (s *Sim) routingStage(cycle int64) {
 // scanning the router's input lanes in (port, lane) order from the
 // round-robin pointer.
 func (s *Sim) routeRouter(r int, cycle int64) {
+	if s.flt != nil && s.flt.routerDown[r] > 0 {
+		return // dead router: headers stay presented until revival
+	}
 	// The scan order is rebuilt from scratch every call; the fabric's
 	// contiguous input-lane range enumerates the same (port, lane) pairs.
 	var order [][2]int
@@ -559,6 +582,9 @@ func (s *Sim) injectionStage(cycle int64) {
 func (s *Sim) injectNIC(n int, cycle int64) {
 	nc := &s.nics[n]
 	at := s.Top.NodeAttach(n)
+	if s.flt != nil && s.flt.routerDown[at.Router] > 0 {
+		return // attach router dead: the NIC freezes with it
+	}
 	for l := range nc.lanes {
 		st := &nc.lanes[l]
 		if st.cur == wormhole.NoPacket {

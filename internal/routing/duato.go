@@ -24,13 +24,68 @@ type Duato struct {
 	//
 	//smartlint:shardindexed
 	tie []int
+	// rerouted[r] counts fault detours decided at router r: escape-lane
+	// direction reversals around a severed dimension-order hop. Entry r
+	// is only touched while routing at router r.
+	//
+	//smartlint:shardindexed
+	rerouted []int64
 }
+
+// Degraded-mode scratch state in PacketInfo.RouteBits (beyond the
+// per-dimension wrap-class bits 0..n-1): when the dimension-order escape
+// hop of dimension d is severed, the packet reverses direction and locks
+// the dimension — bit lockBase+d set, bit lockDirBase+d holding the
+// locked direction — so every later switch keeps routing d the same way
+// until the digit resolves. Without the lock a worm would ping-pong
+// across the live link next to the cut forever, each hop counting as
+// watchdog progress. The layout caps fault-aware cube routing at n <= 8
+// dimensions (enforced where configs are built); without faults no lock
+// is ever set and the discipline is bit-identical to the clean one.
+const (
+	lockBase    = 8
+	lockDirBase = 16
+)
 
 // NewDuato returns the adaptive cube algorithm.
 func NewDuato(cube *topology.Cube) *Duato {
 	return &Duato{
-		cube: cube,
-		tie:  make([]int, cube.Routers()),
+		cube:     cube,
+		tie:      make([]int, cube.Routers()),
+		rerouted: make([]int64, cube.Routers()),
+	}
+}
+
+// Rerouted returns the total fault detours across all routers; telemetry
+// reports it next to the fault-stall counters.
+func (a *Duato) Rerouted() int64 {
+	var n int64
+	for _, v := range a.rerouted {
+		n += v
+	}
+	return n
+}
+
+// locked reports whether dimension d is direction-locked for the packet.
+func locked(info *wormhole.PacketInfo, d int) bool {
+	return info.RouteBits&(1<<uint(lockBase+d)) != 0
+}
+
+// lockedDir returns the locked direction of dimension d.
+func lockedDir(info *wormhole.PacketInfo, d int) int {
+	if info.RouteBits&(1<<uint(lockDirBase+d)) != 0 {
+		return topology.Plus
+	}
+	return topology.Minus
+}
+
+// lock records a direction lock on dimension d.
+func lock(info *wormhole.PacketInfo, d int, dir int) {
+	info.RouteBits |= 1 << uint(lockBase+d)
+	if dir == topology.Plus {
+		info.RouteBits |= 1 << uint(lockDirBase+d)
+	} else {
+		info.RouteBits &^= 1 << uint(lockDirBase+d)
 	}
 }
 
@@ -51,18 +106,23 @@ func (a *Duato) Route(f wormhole.Router, r, inPort, inLane int, pkt wormhole.Pac
 		return a.cube.NodePort(), lane, ok
 	}
 
-	// Adaptive channels first: any output port on a minimal path, scored
-	// by the number of free adaptive lanes, scan origin rotated for
-	// fairness. The candidate scratch lives on the stack (2*N is at most
-	// 80 for any cube topology.Pow admits) so concurrent Route calls
-	// from a sharded fabric's workers share no buffer.
+	// Adaptive channels first: any output port on a minimal path —
+	// or, for a direction-locked dimension, only the locked detour
+	// direction — scored by the number of free adaptive lanes, scan
+	// origin rotated for fairness. Fault-masked ports are skipped. The
+	// candidate scratch lives on the stack (2*N is at most 80 for any
+	// cube topology.Pow admits) so concurrent Route calls from a
+	// sharded fabric's workers share no buffer.
 	var pbuf [80]int
-	ports := minimalPorts(a.cube, r, dst, pbuf[:0])
+	ports := a.candidatePorts(info, r, dst, pbuf[:0])
 	start := a.tie[r]
 	a.tie[r]++
 	bestPort, bestFree := -1, 0
 	for i := 0; i < len(ports); i++ {
 		port := ports[(start+i)%len(ports)]
+		if !f.LinkUp(r, port) {
+			continue
+		}
 		if free := f.FreeLanes(r, port, 0, duatoAdaptiveLanes); free > bestFree {
 			bestPort, bestFree = port, free
 		}
@@ -76,17 +136,75 @@ func (a *Duato) Route(f wormhole.Router, r, inPort, inLane int, pkt wormhole.Pac
 	}
 
 	// Escape channel: the dimension-order hop in the class given by the
-	// packet's wrap-around history on that dimension.
+	// packet's wrap-around history on that dimension. A locked dimension
+	// escapes along its locked direction only.
 	d := lowestDiffDim(a.cube, r, dst)
-	dir := a.cube.DeterministicDir(r, dst, d)
-	port := topology.PortOf(d, dir)
 	class := int(info.RouteBits>>uint(d)) & 1
 	lane := duatoEscapeBase + class
-	if !f.OutLaneFree(r, port, lane) {
+	if locked(info, d) {
+		port := topology.PortOf(d, lockedDir(info, d))
+		if !f.LinkUp(r, port) || !f.OutLaneFree(r, port, lane) {
+			return 0, 0, false
+		}
+		a.noteWrap(info, r, port)
+		return port, lane, true
+	}
+	dir := a.cube.DeterministicDir(r, dst, d)
+	port := topology.PortOf(d, dir)
+	if f.LinkUp(r, port) {
+		if !f.OutLaneFree(r, port, lane) {
+			return 0, 0, false
+		}
+		a.noteWrap(info, r, port)
+		return port, lane, true
+	}
+	// The dimension-order hop is severed: reverse direction and lock
+	// the dimension so every later switch keeps the detour heading
+	// until the digit resolves — without the lock the worm would
+	// ping-pong across the live link beside the cut forever, each hop
+	// registering watchdog progress. The reversal leaves the escape
+	// subnetwork's acyclic-dependency argument, so a faulted run can
+	// genuinely deadlock; that is the watchdog's arm of the contract.
+	rev := topology.Minus
+	if dir == topology.Minus {
+		rev = topology.Plus
+	}
+	rport := topology.PortOf(d, rev)
+	if !f.LinkUp(r, rport) || !f.OutLaneFree(r, rport, lane) {
 		return 0, 0, false
 	}
-	a.noteWrap(info, r, port)
-	return port, lane, true
+	lock(info, d, rev)
+	a.noteWrap(info, r, rport)
+	a.rerouted[r]++
+	return rport, lane, true
+}
+
+// candidatePorts lists the adaptive candidates: for every unresolved
+// dimension, the minimal direction(s) — or, when the dimension is
+// direction-locked, exactly the locked direction. Without faults no
+// dimension is ever locked, so the list equals minimalPorts in content
+// and order.
+//
+//smartlint:hotpath
+func (a *Duato) candidatePorts(info *wormhole.PacketInfo, cur, dst int, ports []int) []int {
+	c := a.cube
+	for d := 0; d < c.N; d++ {
+		if c.Digit(cur, d) == c.Digit(dst, d) {
+			continue
+		}
+		if locked(info, d) {
+			ports = append(ports, topology.PortOf(d, lockedDir(info, d)))
+			continue
+		}
+		plus, minus := c.MinimalDirs(cur, dst, d)
+		if plus {
+			ports = append(ports, topology.PortOf(d, topology.Plus))
+		}
+		if minus {
+			ports = append(ports, topology.PortOf(d, topology.Minus))
+		}
+	}
+	return ports
 }
 
 // noteWrap records a wrap-around crossing in the packet's per-dimension
@@ -98,25 +216,6 @@ func (a *Duato) noteWrap(info *wormhole.PacketInfo, r, port int) {
 	if a.cube.CrossesWrap(r, d, dir) {
 		info.RouteBits |= 1 << uint(d)
 	}
-}
-
-// minimalPorts lists the output ports lying on a minimal path from cur to
-// dst — one or (at the half-way point of an even ring) two directions for
-// every dimension whose coordinates differ — appending into the provided
-// buffer.
-//
-//smartlint:hotpath
-func minimalPorts(c *topology.Cube, cur, dst int, ports []int) []int {
-	for d := 0; d < c.N; d++ {
-		plus, minus := c.MinimalDirs(cur, dst, d)
-		if plus {
-			ports = append(ports, topology.PortOf(d, topology.Plus))
-		}
-		if minus {
-			ports = append(ports, topology.PortOf(d, topology.Minus))
-		}
-	}
-	return ports
 }
 
 var _ wormhole.RoutingAlgorithm = (*Duato)(nil)

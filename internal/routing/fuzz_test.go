@@ -21,6 +21,7 @@ func (f *freeRouter) Dest(wormhole.PacketID) int                    { return int
 func (f *freeRouter) OutLaneFree(r, port, lane int) bool            { return true }
 func (f *freeRouter) OutLaneCredits(r, port, lane int) int          { return 4 }
 func (f *freeRouter) FreeLanes(r, port, lo, hi int) int             { return hi - lo }
+func (f *freeRouter) LinkUp(r, port int) bool                       { return true }
 
 // walkFreeRoute drives one packet from src to dst through the routing
 // algorithm over an all-free network, asserting at every switch that the

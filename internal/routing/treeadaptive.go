@@ -63,6 +63,13 @@ type TreeAdaptive struct {
 	//
 	//smartlint:shardindexed
 	tie []int
+	// rerouted[r] counts fault detours decided at switch r: ascents
+	// that skipped a masked up link (for DigitAligned, the
+	// alternate-parent fallback). Entry r is only touched while routing
+	// at switch r.
+	//
+	//smartlint:shardindexed
+	rerouted []int64
 }
 
 // NewTreeAdaptive returns the adaptive fat-tree algorithm using the given
@@ -80,7 +87,21 @@ func NewTreeAdaptivePolicy(tree *topology.Tree, vcs int, policy AscentPolicy) (*
 	if policy < LeastLoaded || policy > DigitAligned {
 		return nil, fmt.Errorf("routing: unknown ascent policy %d", policy)
 	}
-	return &TreeAdaptive{tree: tree, vcs: vcs, policy: policy, tie: make([]int, tree.Routers())}, nil
+	return &TreeAdaptive{
+		tree: tree, vcs: vcs, policy: policy,
+		tie:      make([]int, tree.Routers()),
+		rerouted: make([]int64, tree.Routers()),
+	}, nil
+}
+
+// Rerouted returns the total fault detours across all switches;
+// telemetry reports it next to the fault-stall counters.
+func (a *TreeAdaptive) Rerouted() int64 {
+	var n int64
+	for _, v := range a.rerouted {
+		n += v
+	}
+	return n
 }
 
 // Name implements wormhole.RoutingAlgorithm.
@@ -103,9 +124,11 @@ func (a *TreeAdaptive) Route(f wormhole.Router, r, inPort, inLane int, pkt wormh
 	level := a.tree.SwitchLevel(r)
 	if !a.tree.IsAncestor(r, dst) {
 		// Ascending phase: any of the k up links reaches a nearest common
-		// ancestor; the policy selects one.
+		// ancestor, so a fault-masked up link is simply skipped — the
+		// surviving parents are all still valid (alternate-parent
+		// selection). The policy selects among the live links.
 		k := a.tree.K
-		bestPort := -1
+		bestPort, detoured := -1, false
 		switch a.policy {
 		case LeastLoaded:
 			start := a.tie[r]
@@ -113,6 +136,10 @@ func (a *TreeAdaptive) Route(f wormhole.Router, r, inPort, inLane int, pkt wormh
 			bestFree := 0
 			for i := 0; i < k; i++ {
 				port := a.tree.UpPort((start + i) % k)
+				if !f.LinkUp(r, port) {
+					detoured = true
+					continue
+				}
 				if free := f.FreeLanes(r, port, 0, a.vcs); free > bestFree {
 					bestPort, bestFree = port, free
 				}
@@ -122,28 +149,55 @@ func (a *TreeAdaptive) Route(f wormhole.Router, r, inPort, inLane int, pkt wormh
 			a.tie[r] = (start + 1) % k
 			for i := 0; i < k; i++ {
 				port := a.tree.UpPort((start + i) % k)
+				if !f.LinkUp(r, port) {
+					detoured = true
+					continue
+				}
 				if f.FreeLanes(r, port, 0, a.vcs) > 0 {
 					bestPort = port
 					break
 				}
 			}
 		case DigitAligned:
-			port := a.tree.UpPort(a.tree.Digit(int(info.Src), a.tree.SwitchLevel(r)))
-			if f.FreeLanes(r, port, 0, a.vcs) > 0 {
-				bestPort = port
+			digit := a.tree.Digit(int(info.Src), a.tree.SwitchLevel(r))
+			port := a.tree.UpPort(digit)
+			if f.LinkUp(r, port) {
+				if f.FreeLanes(r, port, 0, a.vcs) > 0 {
+					bestPort = port
+				}
+			} else {
+				// The oblivious parent is unreachable: fall back to the
+				// next live up link with a free lane.
+				detoured = true
+				for i := 1; i < k; i++ {
+					alt := a.tree.UpPort((digit + i) % k)
+					if f.LinkUp(r, alt) && f.FreeLanes(r, alt, 0, a.vcs) > 0 {
+						bestPort = alt
+						break
+					}
+				}
 			}
 		}
 		if bestPort < 0 {
 			return 0, 0, false
 		}
 		lane, ok := bestLane(f, r, bestPort, 0, a.vcs)
+		if ok && detoured {
+			a.rerouted[r]++
+		}
 		return bestPort, lane, ok
 	}
 	// Descending phase (the switch is an ancestor of the destination,
 	// first reached at the NCA level): the down port is forced by the
 	// destination digits; only the lane choice remains. At level 0 the
-	// down port is the destination's node port.
+	// down port is the destination's node port. A masked down link is a
+	// genuine dead end — ascend-then-descend returns to this switch on
+	// every alternate path — so the header stalls until repair or the
+	// watchdog names it.
 	port := a.tree.DownPortTo(level, dst)
+	if !f.LinkUp(r, port) {
+		return 0, 0, false
+	}
 	lane, ok := bestLane(f, r, port, 0, a.vcs)
 	return port, lane, ok
 }

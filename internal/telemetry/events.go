@@ -28,6 +28,13 @@ const (
 	// EventStall is terminal: the watchdog fired and the run died with a
 	// sim.StallError; the event summarizes its StallSnapshot.
 	EventStall = "stall"
+	// EventFaultOnset fires when the fabric's fault-mask gauges grow
+	// between samples (an injected link or router failure took effect);
+	// EventFaultClear when every mask has been lifted again. Fault events
+	// are sampled state, so an outage shorter than the cadence between
+	// two samples is invisible here (the schedule itself is exact).
+	EventFaultOnset = "fault-onset"
+	EventFaultClear = "fault-clear"
 )
 
 // Event is one structured congestion event. Every field is a
@@ -107,6 +114,8 @@ type detector struct {
 	// near-stall state
 	flatSamples int
 	nearFired   bool
+	// fault state: down elements (links + routers) at the previous sample
+	prevDown int
 }
 
 func newDetector(classes int, thr Thresholds) *detector {
@@ -128,6 +137,8 @@ type observation struct {
 	// progressed reports whether the fabric's progress counter moved
 	// since the previous sample.
 	progressed bool
+	// downLinks and downRouters are the fault-mask gauges at the sample.
+	downLinks, downRouters int
 	// watch carries the engine watchdog's live state when armed.
 	watchSince, watchBudget int64
 	watched                 bool
@@ -176,6 +187,23 @@ func (d *detector) observe(o observation, classNames []string, emit func(Event))
 	}
 	d.prevQueued = o.queued
 	d.firstSample = false
+
+	if down := o.downLinks + o.downRouters; down != d.prevDown {
+		if down > d.prevDown {
+			emit(Event{
+				Cycle: o.cycle, Kind: EventFaultOnset,
+				Value: float64(down), Threshold: float64(d.prevDown),
+				Detail: fmt.Sprintf("%d links and %d routers down", o.downLinks, o.downRouters),
+			})
+		} else if down == 0 {
+			emit(Event{
+				Cycle: o.cycle, Kind: EventFaultClear,
+				Value: 0, Threshold: float64(d.prevDown),
+				Detail: "all fault masks lifted",
+			})
+		}
+		d.prevDown = down
+	}
 
 	if o.progressed || o.inFlight == 0 {
 		d.flatSamples = 0

@@ -140,3 +140,47 @@ func TestStallEventSummarizesSnapshot(t *testing.T) {
 		t.Fatalf("stall event = %+v", ev)
 	}
 }
+
+func TestFaultOnsetAndClear(t *testing.T) {
+	d := newDetector(0, Thresholds{})
+	cycle := int64(0)
+	down := func(links, routers int) []Event {
+		cycle += 100
+		return feed(d, observation{cycle: cycle, progressed: true, downLinks: links, downRouters: routers})
+	}
+
+	// A clean fabric emits nothing.
+	if evs := down(0, 0); len(evs) != 0 {
+		t.Fatalf("clean fabric fired: %v", evs)
+	}
+	// Masks appear: one onset event naming the gauge split.
+	evs := down(1, 1)
+	if len(evs) != 1 || evs[0].Kind != EventFaultOnset || evs[0].Value != 2 {
+		t.Fatalf("first masks: %v", evs)
+	}
+	if evs[0].Detail != "1 links and 1 routers down" {
+		t.Fatalf("onset detail = %q", evs[0].Detail)
+	}
+	// A steady degraded fabric does not re-fire.
+	if evs := down(1, 1); len(evs) != 0 {
+		t.Fatalf("steady degraded state re-fired: %v", evs)
+	}
+	// More masks: a second onset with the previous count as threshold.
+	evs = down(3, 1)
+	if len(evs) != 1 || evs[0].Kind != EventFaultOnset || evs[0].Threshold != 2 {
+		t.Fatalf("deepening faults: %v", evs)
+	}
+	// Partial recovery is not a clear event — masks remain.
+	if evs := down(1, 0); len(evs) != 0 {
+		t.Fatalf("partial recovery fired: %v", evs)
+	}
+	// Full recovery: one clear event.
+	evs = down(0, 0)
+	if len(evs) != 1 || evs[0].Kind != EventFaultClear {
+		t.Fatalf("full recovery: %v", evs)
+	}
+	// And a later re-onset is detected again.
+	if evs := down(2, 0); len(evs) != 1 || evs[0].Kind != EventFaultOnset {
+		t.Fatalf("re-onset after clear: %v", evs)
+	}
+}

@@ -171,6 +171,8 @@ func (s *Server) serveMetrics(w http.ResponseWriter, r *http.Request) {
 		{"smart_run_flits_delivered_total", "Flits delivered since fabric construction.", "counter"},
 		{"smart_run_headers_routed_total", "Routing decisions won.", "counter"},
 		{"smart_run_credit_stalls_total", "Send attempts lost to exhausted credits.", "counter"},
+		{"smart_run_fault_stalls_total", "Transfer opportunities suppressed by fault masks.", "counter"},
+		{"smart_run_rerouted_total", "Routing decisions diverted around fault masks.", "counter"},
 	}
 	gauges := []metric{
 		{"smart_run_cycle", "Cycle of the latest sample.", "gauge"},
@@ -180,19 +182,22 @@ func (s *Server) serveMetrics(w http.ResponseWriter, r *http.Request) {
 		{"smart_run_buffered_flits", "Flits buffered in lanes.", "gauge"},
 		{"smart_run_max_nic_queue", "Deepest source queue.", "gauge"},
 		{"smart_run_events", "Congestion events recorded.", "gauge"},
+		{"smart_run_down_links", "Physical links currently fault-masked.", "gauge"},
+		{"smart_run_down_routers", "Routers currently fault-masked.", "gauge"},
 	}
 	// Gather each sampler's latest point once, in attach order.
 	type runView struct {
-		run    RunInfo
-		last   Point
-		names  []string
-		events int
-		ok     bool
+		run     RunInfo
+		last    Point
+		names   []string
+		events  int
+		ok      bool
+		faulted bool
 	}
 	views := make([]runView, 0, len(st.samplers))
 	for _, sp := range st.samplers {
 		points, events := sp.Snapshot()
-		v := runView{run: sp.Run(), names: sp.ClassNames(), events: len(events)}
+		v := runView{run: sp.Run(), names: sp.ClassNames(), events: len(events), faulted: sp.HasFaults()}
 		if len(points) > 0 {
 			v.last = points[len(points)-1]
 			v.ok = true
@@ -223,6 +228,14 @@ func (s *Server) serveMetrics(w http.ResponseWriter, r *http.Request) {
 			return v.last.MaxNICQueue, true
 		case "smart_run_events":
 			return int64(v.events), true
+		case "smart_run_fault_stalls_total":
+			return v.last.FaultStalls, v.faulted
+		case "smart_run_rerouted_total":
+			return v.last.Rerouted, v.faulted
+		case "smart_run_down_links":
+			return int64(v.last.DownLinks), v.faulted
+		case "smart_run_down_routers":
+			return int64(v.last.DownRouters), v.faulted
 		}
 		return 0, false
 	}

@@ -42,6 +42,14 @@ type Point struct {
 	// Cumulative routing-work and back-pressure counters.
 	HeadersRouted int64 `json:"headers_routed"`
 	CreditStalls  int64 `json:"credit_stalls"`
+	// Degraded-mode counters, present only on faulted runs (fault-free
+	// sidecars stay byte-identical with earlier versions). FaultStalls
+	// and Rerouted are cumulative; DownLinks and DownRouters are the
+	// fault-mask gauges at the sample cycle.
+	FaultStalls int64 `json:"fault_stalls,omitempty"`
+	Rerouted    int64 `json:"rerouted,omitempty"`
+	DownLinks   int   `json:"down_links,omitempty"`
+	DownRouters int   `json:"down_routers,omitempty"`
 	// ClassFlits holds per-channel-class flits moved during the interval
 	// ending at this sample (not cumulative: interval deltas survive the
 	// fabric's warmup-boundary counter reset and difference cleanly
@@ -101,6 +109,9 @@ type Sampler struct {
 	run     RunInfo
 	cfg     Config
 	classes *chanstats.Classes // nil when the topology has no class map
+	// rerouter is the routing algorithm's optional fault-detour counter,
+	// type-asserted once at construction to keep the sample path cheap.
+	rerouter interface{ Rerouted() int64 }
 
 	//smartlint:allow concurrency — guards ring/detector state read by the metrics server, off the cycle path
 	mu   sync.Mutex
@@ -157,6 +168,7 @@ func NewSampler(f *wormhole.Fabric, e *sim.Engine, run RunInfo, cfg Config) *Sam
 		deltaClass: make([]int64, n),
 		classUtil:  make([]float64, n),
 	}
+	s.rerouter, _ = f.Alg.(interface{ Rerouted() int64 })
 	s.emit = s.emitLocked
 	return s
 }
@@ -170,6 +182,11 @@ func (s *Sampler) Register(e *sim.Engine) {
 
 // Every returns the sampling cadence in cycles.
 func (s *Sampler) Every() int64 { return s.cfg.Every }
+
+// HasFaults reports whether the recorded fabric carries fault state; the
+// metrics server gates the degraded-mode lines on it so unfaulted runs
+// render exactly as before.
+func (s *Sampler) HasFaults() bool { return s.fabric.HasFaults() }
 
 // ClassNames returns the channel-class labels, nil for classless
 // topologies.
@@ -222,6 +239,14 @@ func (s *Sampler) sample(cycle int64) {
 		HeadersRouted:  f.HeadersRouted(),
 		CreditStalls:   f.CreditStalls(),
 	}
+	if f.HasFaults() {
+		p.FaultStalls = f.FaultStalls()
+		p.DownLinks = f.DownLinks()
+		p.DownRouters = f.DownRouters()
+		if s.rerouter != nil {
+			p.Rerouted = s.rerouter.Rerouted()
+		}
+	}
 
 	if s.classes != nil {
 		s.classes.Accumulate(f.LinkFlits, s.curClass)
@@ -248,11 +273,13 @@ func (s *Sampler) sample(cycle int64) {
 
 	progress := ctr.FlitsInjected + ctr.FlitsDelivered + f.HeadersRouted()
 	o := observation{
-		cycle:      cycle,
-		classUtil:  s.classUtil,
-		queued:     p.Queued,
-		inFlight:   p.InFlight,
-		progressed: progress != s.prevProgress,
+		cycle:       cycle,
+		classUtil:   s.classUtil,
+		queued:      p.Queued,
+		inFlight:    p.InFlight,
+		progressed:  progress != s.prevProgress,
+		downLinks:   p.DownLinks,
+		downRouters: p.DownRouters,
 	}
 	s.prevProgress = progress
 	if s.engine != nil {

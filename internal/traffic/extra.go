@@ -116,3 +116,50 @@ func (h *Hotspot) Dest(src int, rng *sim.RNG) int {
 	}
 	return h.uniform.Dest(src, rng)
 }
+
+// RotatingHotspot is the time-varying adversary: the hot node moves to
+// the next node id every period cycles, so congestion trees form and must
+// dissolve repeatedly instead of reaching the stationary hotspot
+// equilibrium. Its per-draw RNG consumption is identical to Hotspot's,
+// keeping it stream-compatible with the stationary pattern.
+type RotatingHotspot struct {
+	uniform  *Uniform
+	nodes    int
+	period   int64
+	fraction float64
+}
+
+// NewRotatingHotspot returns a hotspot pattern whose hot node advances
+// every period cycles.
+func NewRotatingHotspot(nodes int, period int64, fraction float64) (*RotatingHotspot, error) {
+	if period < 1 {
+		return nil, fmt.Errorf("traffic: rotating hotspot period %d must be >= 1 cycle", period)
+	}
+	if fraction < 0 || fraction > 1 {
+		return nil, fmt.Errorf("traffic: hotspot fraction %v outside [0,1]", fraction)
+	}
+	u, err := NewUniform(nodes)
+	if err != nil {
+		return nil, err
+	}
+	return &RotatingHotspot{uniform: u, nodes: nodes, period: period, fraction: fraction}, nil
+}
+
+// Name implements Pattern.
+func (h *RotatingHotspot) Name() string { return "rot-hotspot" }
+
+// Dest implements Pattern; non-cycle-aware callers see cycle 0's hot node.
+func (h *RotatingHotspot) Dest(src int, rng *sim.RNG) int {
+	return h.DestAt(src, 0, rng)
+}
+
+// DestAt implements CyclePattern.
+func (h *RotatingHotspot) DestAt(src int, cycle int64, rng *sim.RNG) int {
+	hot := int((cycle / h.period) % int64(h.nodes))
+	if src != hot && rng.Bernoulli(h.fraction) {
+		return hot
+	}
+	return h.uniform.Dest(src, rng)
+}
+
+var _ CyclePattern = (*RotatingHotspot)(nil)

@@ -25,6 +25,18 @@ type Injector struct {
 	// skipped counts draws that were permutation fixed points (no packet
 	// generated, matching the paper's non-injecting palindrome nodes).
 	skipped int64
+	// mod, when set, scales the injection probability cycle by cycle
+	// (bursty workloads); nil means the stationary Bernoulli process.
+	mod Modulator
+	// cp is the pattern's cycle-aware view, type-asserted once so the
+	// per-draw path has a nil check instead of an interface assertion.
+	cp CyclePattern
+	// avail, when set, reports whether a node can source or sink traffic;
+	// draws whose endpoint is unavailable are dropped (counted), keeping
+	// the RNG streams aligned with the fault-free run.
+	avail func(n int) bool
+	// dropped counts draws discarded because an endpoint was down.
+	dropped int64
 }
 
 // Network is the surface the injection process drives: the node count and
@@ -46,6 +58,7 @@ func NewInjector(f Network, p Pattern, packetRate float64, seed uint64) (*Inject
 	}
 	nodes := f.Nodes()
 	inj := &Injector{fabric: f, pattern: p, prob: packetRate, enabled: true}
+	inj.cp, _ = p.(CyclePattern)
 	inj.rngs = make([]*sim.RNG, nodes)
 	sm := sim.NewSplitMix64(seed)
 	for n := range inj.rngs {
@@ -72,18 +85,55 @@ func (inj *Injector) Start() { inj.enabled = true }
 // packet.
 func (inj *Injector) Skipped() int64 { return inj.skipped }
 
+// SetModulator installs a cycle-by-cycle load modulator (nil restores the
+// stationary process). A differential pair must install independently
+// constructed modulators from the same seed so both chains step in
+// lockstep.
+func (inj *Injector) SetModulator(m Modulator) { inj.mod = m }
+
+// SetAvailability installs the endpoint-liveness predicate consulted per
+// draw, typically the fabric's NodeUp. Draws whose source or destination
+// is unavailable are dropped after the RNG is consumed, so the remaining
+// traffic is byte-identical to the fault-free run's.
+func (inj *Injector) SetAvailability(up func(n int) bool) { inj.avail = up }
+
+// Dropped returns the number of draws discarded because an endpoint was
+// down.
+func (inj *Injector) Dropped() int64 { return inj.dropped }
+
 func (inj *Injector) tick(cycle int64) {
 	if !inj.enabled {
 		return
 	}
+	prob := inj.prob
+	if inj.mod != nil {
+		// Factor advances the modulation chain exactly once per cycle;
+		// the product is clamped because a peak factor may push a high
+		// configured load past certainty.
+		prob *= inj.mod.Factor(cycle)
+		if prob > 1 {
+			prob = 1
+		}
+	}
 	for n := range inj.rngs {
 		rng := inj.rngs[n]
-		if !rng.Bernoulli(inj.prob) {
+		// Bernoulli consumes one draw whatever prob is, so modulation
+		// never desynchronizes the per-node streams.
+		if !rng.Bernoulli(prob) {
 			continue
 		}
-		dst := inj.pattern.Dest(n, rng)
+		var dst int
+		if inj.cp != nil {
+			dst = inj.cp.DestAt(n, cycle, rng)
+		} else {
+			dst = inj.pattern.Dest(n, rng)
+		}
 		if dst == n {
 			inj.skipped++
+			continue
+		}
+		if inj.avail != nil && (!inj.avail(n) || !inj.avail(dst)) {
+			inj.dropped++
 			continue
 		}
 		inj.fabric.EnqueuePacket(n, dst, cycle)

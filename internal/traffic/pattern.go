@@ -26,6 +26,18 @@ type Pattern interface {
 	Dest(src int, rng *sim.RNG) int
 }
 
+// CyclePattern is a Pattern whose destination choice also depends on the
+// simulated cycle (time-varying adversarial patterns). The injector
+// type-asserts for it once and calls DestAt instead of Dest; DestAt must
+// consume exactly the RNG draws Dest would, so a time-varying pattern
+// stays stream-compatible with its stationary counterpart.
+type CyclePattern interface {
+	Pattern
+	// DestAt returns the destination for a packet sourced at src on the
+	// given cycle.
+	DestAt(src int, cycle int64, rng *sim.RNG) int
+}
+
 // logNodes returns log2(nodes), rejecting non-powers of two: the paper's
 // bit-string patterns are defined on binary addresses (it assumes k is a
 // power of two).

@@ -244,6 +244,11 @@ type Fabric struct {
 	//
 	//smartlint:shardindexed
 	wires []wireFIFO
+
+	// flt holds the fault masks (faults.go); nil until the first fault
+	// is injected, so unfaulted runs pay one nil check per gate.
+	// Written only by the serial faults stage, read by all shards.
+	flt *faultState
 }
 
 // flight is one flit in transit on a pipelined wire.
@@ -673,6 +678,13 @@ func (f *Fabric) linkShard(sh *shardState, cycle int64) {
 //
 //smartlint:hotpath
 func (f *Fabric) linkPort(sh *shardState, pid int32, cycle int64) {
+	if f.flt != nil && f.flt.blocked(pid, f.deg) {
+		// A masked port holds its buffered flits in place; the port is
+		// only visited when occupied, so each skip is one suppressed
+		// transfer opportunity.
+		sh.faultStalls++
+		return
+	}
 	port := &f.ports[pid]
 	lanes := f.outLanesOf(int(pid))
 	n := len(lanes)
@@ -843,6 +855,9 @@ func (f *Fabric) xbarLane(sh *shardState, id int32, cycle int64) {
 		return
 	}
 	r := int(il.router)
+	if f.flt != nil && f.flt.routerDown[r] > 0 {
+		return // dead router: crossbar frozen, bindings held
+	}
 	op, olIdx := il.bound.unpack()
 	opid := int32(r*f.deg + op)
 	ol := &f.out[f.outOff[opid]+int32(olIdx)]
@@ -889,6 +904,9 @@ func (f *Fabric) xbarLane(sh *shardState, id int32, cycle int64) {
 //
 //smartlint:hotpath
 func (f *Fabric) routeRouter(sh *shardState, r int, cycle int64) {
+	if f.flt != nil && f.flt.routerDown[r] > 0 {
+		return // dead router: headers stay presented until revival
+	}
 	base := f.inOff[r*f.deg]
 	n := int(f.inOff[(r+1)*f.deg] - base)
 	for i := 0; i < n; i++ {
@@ -1007,6 +1025,9 @@ func (f *Fabric) injectShard(sh *shardState, cycle int64) {
 //smartlint:hotpath
 func (f *Fabric) injectNIC(sh *shardState, n32 int32, cycle int64) {
 	nc := &f.nics[n32]
+	if f.flt != nil && f.flt.routerDown[f.in[nc.base].router] > 0 {
+		return // attach router dead: the NIC freezes with it
+	}
 	for l := range nc.lanes {
 		st := &nc.lanes[l]
 		if st.cur == NoPacket {

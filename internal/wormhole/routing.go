@@ -22,6 +22,12 @@ type Router interface {
 	// index range [lo, hi): the "number of free virtual channels" the
 	// fat-tree algorithm uses to pick the least-loaded link (§2).
 	FreeLanes(r, port, lo, hi int) int
+	// LinkUp reports whether routing out of router r's given port is
+	// currently permitted: false for fault-masked links, ports of (or
+	// into) dead routers, and unused ports. Fault-aware disciplines
+	// consult it to steer around failures; without injected faults it
+	// is constantly true for every port an algorithm would pick.
+	LinkUp(r, port int) bool
 }
 
 // RoutingAlgorithm decides, for a header flit that has reached the front

@@ -74,6 +74,7 @@ type shardState struct {
 	progress      int64
 	headersRouted int64
 	creditStalls  int64
+	faultStalls   int64
 
 	// Outgoing mailboxes, indexed by destination shard: boundary flits
 	// to push into a neighbour shard's input lanes, and credit acks to

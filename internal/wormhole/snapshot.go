@@ -37,14 +37,17 @@ const (
 	snapshotMaxLanes   = 32
 )
 
-// BlockedHeader names one packet header buffered in an input lane of a
+// BlockedHeader names one packet header buffered in a lane of a
 // stalled fabric — the wait-for graph's nodes, and the first thing to
 // look at in a deadlock post-mortem.
 type BlockedHeader struct {
-	// Router, Port, Lane locate the input lane holding the header.
+	// Router, Port, Lane locate the lane holding the header.
 	Router, Port, Lane int
-	Packet             PacketID
-	Src, Dst           int
+	// Out reports the header is parked in an output lane: it already
+	// crossed the crossbar and is waiting on the wire itself.
+	Out      bool
+	Packet   PacketID
+	Src, Dst int
 	// Hops is how many routing decisions the packet had won before the
 	// stall.
 	Hops int
@@ -52,9 +55,20 @@ type BlockedHeader struct {
 	// (stuck on credits or a full buffer) rather than still waiting for
 	// a routing decision.
 	Routed bool
+	// AtFault reports that the header is blocked by an injected fault:
+	// its router is down, or its bound output port is a masked link. The
+	// seeded-fault regression keys on it — a fault-oblivious algorithm
+	// wedges a worm against the cut and the post-mortem must say so.
+	AtFault bool
 	// FrontAge is the number of cycles since the lane's front flit last
 	// advanced a pipeline stage.
 	FrontAge int64
+}
+
+// DownLink names one masked physical link by its canonical (lower
+// (router, port)) direction.
+type DownLink struct {
+	Router, Port int
 }
 
 // LaneState records one lane's occupancy and credit state. Only lanes
@@ -87,6 +101,12 @@ type StallSnapshot struct {
 	BlockedTotal int
 	Lanes        []LaneState
 	LanesTotal   int
+
+	// DownLinks and DownRouters list the fault masks active at the stall
+	// (uncapped: schedules are small by construction). A dead router's
+	// incident links appear in DownLinks too.
+	DownLinks   []DownLink
+	DownRouters []int
 }
 
 func (s *StallSnapshot) recordHeader(h BlockedHeader) {
@@ -112,6 +132,23 @@ func (f *Fabric) snapshot() *StallSnapshot {
 		InFlight:  f.InFlight(),
 		Queued:    f.QueuedPackets(),
 	}
+	if f.flt != nil {
+		for r, c := range f.flt.routerDown {
+			if c > 0 {
+				s.DownRouters = append(s.DownRouters, r)
+			}
+		}
+		for pid, c := range f.flt.linkDown {
+			if c == 0 {
+				continue
+			}
+			port := f.ports[pid]
+			if rev := port.Peer*f.deg + port.PeerPort; rev < pid {
+				continue // report the canonical direction only
+			}
+			s.DownLinks = append(s.DownLinks, DownLink{Router: pid / f.deg, Port: pid % f.deg})
+		}
+	}
 	for pid := range f.ports {
 		r, p := pid/f.deg, pid%f.deg
 		inLanes := f.inLanesOf(pid)
@@ -130,10 +167,20 @@ func (f *Fabric) snapshot() *StallSnapshot {
 					continue
 				}
 				pk := &f.Packets[fl.Packet]
+				atFault := false
+				if f.flt != nil {
+					if f.flt.routerDown[r] > 0 {
+						atFault = true
+					} else if il.bound != noRef {
+						op, _ := il.bound.unpack()
+						atFault = f.flt.blocked(int32(r*f.deg+op), f.deg)
+					}
+				}
 				s.recordHeader(BlockedHeader{
 					Router: r, Port: p, Lane: l,
 					Packet: fl.Packet, Src: int(pk.Src), Dst: int(pk.Dst), Hops: int(pk.Hops),
 					Routed:   i == 0 && il.bound != noRef,
+					AtFault:  atFault,
 					FrontAge: f.cycle - il.front().MovedAt,
 				})
 				break // one header per lane is enough to seed the diagnosis
@@ -149,6 +196,25 @@ func (f *Fabric) snapshot() *StallSnapshot {
 				Router: r, Port: p, Lane: l, Dir: "out",
 				Flits: ol.n, Depth: ol.cap(), Credits: int(ol.credits), Bound: ol.boundIn != noRef,
 			})
+			for i := 0; i < ol.n; i++ {
+				fl := ol.at(i)
+				if !fl.Kind.IsHead() {
+					continue
+				}
+				pk := &f.Packets[fl.Packet]
+				atFault := false
+				if f.flt != nil {
+					atFault = f.flt.routerDown[r] > 0 || f.flt.blocked(int32(pid), f.deg)
+				}
+				s.recordHeader(BlockedHeader{
+					Router: r, Port: p, Lane: l, Out: true,
+					Packet: fl.Packet, Src: int(pk.Src), Dst: int(pk.Dst), Hops: int(pk.Hops),
+					Routed:   true,
+					AtFault:  atFault,
+					FrontAge: f.cycle - ol.front().MovedAt,
+				})
+				break
+			}
 		}
 	}
 	return s
@@ -160,13 +226,31 @@ func (s *StallSnapshot) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "fabric at cycle %d: algorithm %s, %d flits in flight, %d packets queued, %d blocked headers, %d non-idle lanes",
 		s.Cycle, s.Algorithm, s.InFlight, s.Queued, s.BlockedTotal, s.LanesTotal)
+	if len(s.DownLinks) > 0 || len(s.DownRouters) > 0 {
+		fmt.Fprintf(&b, "\n  active faults: %d links down", len(s.DownLinks))
+		for _, dl := range s.DownLinks {
+			fmt.Fprintf(&b, " (router %d port %d)", dl.Router, dl.Port)
+		}
+		fmt.Fprintf(&b, ", %d routers down", len(s.DownRouters))
+		for _, dr := range s.DownRouters {
+			fmt.Fprintf(&b, " (router %d)", dr)
+		}
+	}
 	for _, h := range s.Blocked {
 		state := "unrouted"
 		if h.Routed {
 			state = "routed"
 		}
-		fmt.Fprintf(&b, "\n  header of packet %d (%d->%d, %d hops, %s) blocked at router %d port %d lane %d for %d cycles",
-			h.Packet, h.Src, h.Dst, h.Hops, state, h.Router, h.Port, h.Lane, h.FrontAge)
+		fault := ""
+		if h.AtFault {
+			fault = ", at failed link"
+		}
+		where := "at"
+		if h.Out {
+			where = "at out lane"
+		}
+		fmt.Fprintf(&b, "\n  header of packet %d (%d->%d, %d hops, %s%s) blocked %s router %d port %d lane %d for %d cycles",
+			h.Packet, h.Src, h.Dst, h.Hops, state, fault, where, h.Router, h.Port, h.Lane, h.FrontAge)
 	}
 	if n := s.BlockedTotal - len(s.Blocked); n > 0 {
 		fmt.Fprintf(&b, "\n  ... and %d more blocked headers", n)
