@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-shardsafe test race cover fuzz bench bench-fabric shard-smoke telemetry-smoke fault-smoke profile experiments quick clean
+.PHONY: all build vet lint lint-shardsafe test race cover fuzz bench bench-fabric bench-serve shard-smoke telemetry-smoke fault-smoke serve-smoke profile experiments quick clean
 
 all: build lint test
 
@@ -83,6 +83,18 @@ telemetry-smoke:
 # round trip. See DESIGN.md §14.
 fault-smoke:
 	bash scripts/fault_smoke.sh
+
+# End-to-end sweep-service check: cold miss -> warm hit byte-identity,
+# ETag 304 revalidation, served-sweep vs cmd/sweep digest parity, and
+# cache persistence across a restart. See DESIGN.md §15.
+serve-smoke:
+	bash scripts/serve_smoke.sh
+
+# Closed-loop HTTP load test against an in-process sweep service;
+# rewrites the committed benchmark record. The warm (all-hits) phase
+# must sustain >= 1000 req/s with verified byte-identical responses.
+bench-serve:
+	$(GO) run ./cmd/loadtest -requests 5000 -clients 8 -json BENCH_serve.json
 
 # A short instrumented sweep: CPU profile in cpu.prof plus the live
 # progress line and per-stage engine timing report on stderr.

@@ -17,6 +17,11 @@
 // invocation, and -watchdog aborts deadlocked configs with a stall
 // diagnosis (configs that set WatchdogCycles keep their own budget).
 //
+// Caching (internal/store): -store points at a content-addressed
+// result store shared with cmd/sweep and cmd/serve; configs the store
+// holds are replayed instead of re-run, and completed runs are
+// written back.
+//
 // Telemetry (internal/telemetry): -metrics-addr serves live fabric
 // state over HTTP while the study runs; -timeseries journals each
 // config's sampled time series and congestion events to a JSONL
@@ -36,6 +41,7 @@ import (
 	"smart/internal/obs"
 	"smart/internal/resilience"
 	"smart/internal/results"
+	"smart/internal/store"
 	"smart/internal/telemetry"
 )
 
@@ -46,6 +52,7 @@ func main() {
 	configPath := flag.String("config", "", "path to the JSON batch description")
 	csvPath := flag.String("csv", "", "also write results as CSV")
 	manifestPath := flag.String("manifest", "", "append one JSONL run record per configuration to this file")
+	storeDir := flag.String("store", "", "read-through result store directory: cached configs are replayed instead of re-run, and completed runs are written back")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel simulations")
 	scaffold := flag.Bool("scaffold", false, "print a template batch file and exit")
 	shards := flag.Int("shards", 1, "fabric shards per run (0 = auto from network size and GOMAXPROCS; results are bit-identical)")
@@ -153,6 +160,16 @@ func main() {
 		}
 		defer mf.Close()
 		opts.Manifest = obs.NewManifestWriter(mf)
+	}
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "batch:", err)
+			os.Exit(1)
+		}
+		defer st.Close()
+		fmt.Fprintf(os.Stderr, "batch: store %s holds %d results\n", *storeDir, st.Len())
+		opts.Store = st
 	}
 
 	res, err := b.RunWith(*workers, opts)

@@ -1,0 +1,100 @@
+// Command serve runs the sweep service: an HTTP API over a persistent
+// content-addressed result store (internal/store). POST a config to
+// /v1/run (or a config-and-loads grid to /v1/sweep) and the service
+// answers from the store when it can, executing only the configs it has
+// never seen — each exactly once, even under concurrent identical
+// requests — and journaling every result so the cache survives
+// restarts. Responses carry a strong ETag over the record's content
+// digest; the X-Smart-Cache header says whether the answer was a hit,
+// a miss or coalesced into another request's run.
+//
+// Examples:
+//
+//	serve -store results/               # listen on :8080 over ./results
+//	serve -store results/ -addr :0 -v  # ephemeral port, request logs
+//
+//	curl -s localhost:8080/v1/run -d '{"Network":"tree","VCs":2,"Load":0.4}'
+//	curl -s localhost:8080/v1/sweep -d '{"config":{"Network":"cube","Algorithm":"duato"},"loads":[0.2,0.4,0.6]}'
+//
+// The bound address is printed to stderr as "serve: serving on
+// http://HOST:PORT" so scripts can discover an ephemeral port. SIGINT
+// shuts down gracefully: in-flight requests finish (a second SIGINT
+// kills the process) and the store is synced.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"smart/internal/obs"
+	"smart/internal/resilience"
+	"smart/internal/serve"
+	"smart/internal/store"
+)
+
+func main() {
+	var opts serve.Options
+	obsFlags := obs.AddFlags(flag.CommandLine)
+	addr := flag.String("addr", ":8080", "listen address (\":0\" picks an ephemeral port)")
+	dir := flag.String("store", "", "result store directory (required; created if missing)")
+	compact := flag.Bool("compact", false, "compact the store on startup, reclaiming superseded entries")
+	flag.IntVar(&opts.Workers, "workers", 0, "max concurrent executions (0 = GOMAXPROCS)")
+	flag.IntVar(&opts.Queue, "queue", 64, "misses that may wait for a worker before new ones get 503")
+	flag.IntVar(&opts.Shards, "shards", 0, "fabric shards per run (0 = auto; results are bit-identical)")
+	flag.Int64Var(&opts.Watchdog, "watchdog", resilience.DefaultWatchdogCycles, "no-progress `cycles` stamped onto configs without their own watchdog (-1 disables)")
+	flag.Parse()
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "serve: -store is required")
+		os.Exit(2)
+	}
+	opts.Logger = obsFlags.Logger()
+
+	st, err := store.Open(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	}
+	if *compact {
+		before := st.Stats()
+		if err := st.Compact(); err != nil {
+			fmt.Fprintln(os.Stderr, "serve:", err)
+			os.Exit(1)
+		}
+		after := st.Stats()
+		fmt.Fprintf(os.Stderr, "serve: compacted %s: %d records, %d -> %d bytes\n",
+			*dir, after.Records, before.Bytes, after.Bytes)
+	}
+
+	ctx, stop := resilience.SignalContext(context.Background())
+	defer stop()
+
+	svc := serve.New(st, opts)
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		st.Close()
+		os.Exit(1)
+	}
+	srv := &http.Server{Handler: svc.Handler()}
+	go srv.Serve(ln)
+	fmt.Fprintf(os.Stderr, "serve: store %s holds %d results\n", *dir, st.Len())
+	fmt.Fprintf(os.Stderr, "serve: serving on http://%s\n", ln.Addr())
+
+	<-ctx.Done()
+	stop() // restore default handling: a second SIGINT kills the process
+	fmt.Fprintln(os.Stderr, "serve: shutting down")
+	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+	}
+	if err := st.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	}
+}

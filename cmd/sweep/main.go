@@ -27,6 +27,13 @@
 //	sweep -net cube -alg duato -checkpoint sweep.ckpt            # interruptible
 //	sweep -net cube -alg duato -checkpoint sweep.ckpt -resume    # pick up where it left off
 //
+// Caching (internal/store): -store points at a content-addressed
+// result store shared with cmd/batch and cmd/serve. Load points the
+// store already holds are replayed (digest-identically) instead of
+// re-run, and completed runs are written back:
+//
+//	sweep -net tree -vcs 2 -store results/    # second invocation is instant
+//
 // Telemetry (internal/telemetry): -metrics-addr serves live fabric
 // state over HTTP while the sweep runs (/metrics in Prometheus text,
 // /telemetry.json as JSON); -timeseries journals each run's sampled
@@ -50,6 +57,7 @@ import (
 	"smart/internal/plot"
 	"smart/internal/resilience"
 	"smart/internal/results"
+	"smart/internal/store"
 	"smart/internal/telemetry"
 )
 
@@ -62,6 +70,7 @@ func main() {
 	resFlags := resilience.AddFlags(flag.CommandLine)
 	telFlags := telemetry.AddFlags(flag.CommandLine)
 	flag.StringVar(&manifestPath, "manifest", "", "append one JSONL run record per load point to this file")
+	storeDir := flag.String("store", "", "read-through result store directory: cached load points are replayed instead of re-run, and completed runs are written back")
 	flag.StringVar(&network, "net", "tree", "network family: tree or cube")
 	flag.IntVar(&cfg.K, "k", 0, "radix")
 	flag.IntVar(&cfg.N, "n", 0, "dimension/levels")
@@ -157,6 +166,16 @@ func main() {
 		}
 		defer mf.Close()
 		opts.Manifest = obs.NewManifestWriter(mf)
+	}
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(1)
+		}
+		defer st.Close()
+		fmt.Fprintf(os.Stderr, "sweep: store %s holds %d results\n", *storeDir, st.Len())
+		opts.Store = st
 	}
 
 	swept, err := core.SweepWith(cfg, loads, runtime.GOMAXPROCS(0), opts)

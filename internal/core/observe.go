@@ -11,6 +11,7 @@ import (
 	"smart/internal/obs"
 	"smart/internal/resilience"
 	"smart/internal/sim"
+	"smart/internal/store"
 	"smart/internal/telemetry"
 )
 
@@ -33,6 +34,14 @@ type Options struct {
 	// and replays already-journaled configs instead of re-running them —
 	// the resume half of the kill-and-resume contract.
 	Checkpoint *resilience.Checkpoint
+	// Store, when set, is a persistent read-through result cache keyed
+	// by config fingerprint (internal/store): a config the store holds
+	// is not re-run — its cached record is digest-verified, re-stamped
+	// with this run's Batch/Index position, and replayed into the
+	// manifest exactly like a checkpoint hit — and every completed run
+	// is written back. Unlike a checkpoint (one grid's journal), a store
+	// is shared across invocations, commands, and the sweep service.
+	Store *store.Store
 	// Context, when set, interrupts a grid: runs not yet started when it
 	// is cancelled are skipped (reported as interrupted, not failed),
 	// while in-flight runs complete and reach the checkpoint.
@@ -63,18 +72,33 @@ type Options struct {
 
 // observed reports whether any observer is attached.
 func (o Options) observed() bool {
-	return o.Logger != nil || o.Profiler != nil || o.Progress != nil || o.Manifest != nil || o.Checkpoint != nil || o.Telemetry != nil
+	return o.Logger != nil || o.Profiler != nil || o.Progress != nil || o.Manifest != nil || o.Checkpoint != nil || o.Store != nil || o.Telemetry != nil
 }
 
 // RunWith executes one experiment with the paper's methodology under the
 // given observers. With zero Options it is exactly Run. A config whose
 // fingerprint the checkpoint records as done is not re-run: its
-// journaled record is replayed into the manifest verbatim.
+// journaled record is replayed into the manifest verbatim. A store hit
+// replays the same way, except the cached record — stored
+// position-free, since the store is addressed by config content — is
+// first re-stamped with this run's Batch and Index, so a read-through
+// grid's manifest digests identically to an uncached one.
 func RunWith(cfg Config, opts Options) (Result, error) {
 	if opts.Checkpoint != nil {
 		full := cfg.WithDefaults()
 		if rec, ok := opts.Checkpoint.Done(full.Fingerprint()); ok {
-			return replayRun(full, rec, opts)
+			return replayRun(full, rec, "checkpoint", opts)
+		}
+	}
+	if opts.Store != nil {
+		full := cfg.WithDefaults()
+		rec, _, ok, err := opts.Store.Get(full.Fingerprint())
+		if err != nil {
+			return Result{}, fmt.Errorf("core: store read for %s: %w", full.Fingerprint(), err)
+		}
+		if ok {
+			rec.Batch, rec.Index = opts.Batch, opts.Index
+			return replayRun(full, rec, "store", opts)
 		}
 	}
 	s, err := NewSimulationShards(cfg, opts.Shards)
@@ -92,16 +116,23 @@ func RunWith(cfg Config, opts Options) (Result, error) {
 // journaled manifest record, so a resumed grid's manifest is
 // indistinguishable (modulo wall time and completion order) from an
 // uninterrupted one.
-func replayRun(cfg Config, rec obs.RunRecord, opts Options) (Result, error) {
+func replayRun(cfg Config, rec obs.RunRecord, source string, opts Options) (Result, error) {
 	res, err := ResultFromRecord(rec)
 	if err != nil {
-		return Result{}, fmt.Errorf("core: replaying checkpointed run %s: %w", rec.Fingerprint, err)
+		return Result{}, fmt.Errorf("core: replaying cached run %s: %w", rec.Fingerprint, err)
 	}
 	if logger := obs.RunLogger(opts.Logger, cfg.Fingerprint(), cfg.Label(), cfg.Pattern, cfg.Seed, cfg.Load); logger != nil {
-		logger.Info("run resumed from checkpoint", "cycles", rec.Cycles)
+		logger.Info("run replayed from cache", "source", source, "cycles", rec.Cycles)
 	}
 	if opts.Progress != nil {
 		opts.Progress.RunDone(cfg.Load, rec.Cycles)
+	}
+	if opts.Store != nil {
+		// A checkpoint hit back-fills the store; a store hit re-puts
+		// identical content, which Put drops by digest.
+		if _, err := opts.Store.Put(rec); err != nil {
+			return res, fmt.Errorf("core: store write-back: %w", err)
+		}
 	}
 	if opts.Manifest != nil {
 		if err := opts.Manifest.Write(rec); err != nil {
@@ -170,12 +201,15 @@ func (s *Simulation) RunWith(opts Options) (Result, error) {
 	if opts.Progress != nil {
 		opts.Progress.RunDone(cfg.Load, cycles)
 	}
-	if opts.Manifest != nil || opts.Checkpoint != nil {
+	if opts.Manifest != nil || opts.Checkpoint != nil || opts.Store != nil {
 		rec, rerr := runRecord(res, cycles, wall, s.Shards, opts)
 		if rerr == nil && opts.Checkpoint != nil {
 			// Journal before the manifest: a kill between the two writes
 			// must not leave a manifest record the journal forgot.
 			rerr = opts.Checkpoint.Record(rec)
+		}
+		if rerr == nil && opts.Store != nil {
+			_, rerr = opts.Store.Put(rec)
 		}
 		if rerr == nil && opts.Manifest != nil {
 			rerr = opts.Manifest.Write(rec)

@@ -55,39 +55,39 @@ func Open(path string, resume bool) (*Checkpoint, error) {
 			return nil, err
 		}
 		// Drop the torn tail, if any, so appends start on a line boundary.
-		if err := f.Truncate(valid); err != nil {
+		if err := TruncateTail(f, valid); err != nil {
 			f.Close()
-			return nil, fmt.Errorf("resilience: truncating torn checkpoint tail: %w", err)
-		}
-		if _, err := f.Seek(valid, io.SeekStart); err != nil {
-			f.Close()
-			return nil, fmt.Errorf("resilience: seeking checkpoint: %w", err)
+			return nil, err
 		}
 	}
 	c.enc = json.NewEncoder(f)
 	return c, nil
 }
 
-// load parses the journal and returns the byte offset of the end of the
-// last valid line.
+// load parses the journal into the fingerprint-dedup map and returns
+// the byte offset of the end of the last valid line.
 func (c *Checkpoint) load() (int64, error) {
 	data, err := io.ReadAll(c.f)
 	if err != nil {
 		return 0, fmt.Errorf("resilience: reading checkpoint %s: %w", c.path, err)
 	}
-	return ScanJournal(data, func(line int, raw []byte) error {
+	done, valid, err := DedupJournal(data, func(line int, raw []byte) (string, obs.RunRecord, error) {
 		dec := json.NewDecoder(bytes.NewReader(raw))
 		dec.DisallowUnknownFields()
 		var rec obs.RunRecord
 		if err := dec.Decode(&rec); err != nil {
-			return fmt.Errorf("resilience: checkpoint %s line %d is corrupt: %w", c.path, line, err)
+			return "", rec, fmt.Errorf("resilience: checkpoint %s line %d is corrupt: %w", c.path, line, err)
 		}
 		if rec.Schema != obs.RunSchema && rec.Schema != obs.RunSchemaV1 {
-			return fmt.Errorf("resilience: checkpoint %s line %d has unknown schema %q", c.path, line, rec.Schema)
+			return "", rec, fmt.Errorf("resilience: checkpoint %s line %d has unknown schema %q", c.path, line, rec.Schema)
 		}
-		c.done[rec.Fingerprint] = rec
-		return nil
+		return rec.Fingerprint, rec, nil
 	})
+	if err != nil {
+		return 0, err
+	}
+	c.done = done
+	return valid, nil
 }
 
 // Path returns the journal's file path.

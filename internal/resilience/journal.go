@@ -1,6 +1,11 @@
 package resilience
 
-import "bytes"
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+)
 
 // ScanJournal walks the bytes of an append-only JSONL journal, calling
 // fn once per complete line (1-based line number, newline excluded), and
@@ -27,4 +32,44 @@ func ScanJournal(data []byte, fn func(n int, line []byte) error) (int64, error) 
 		data = data[nl+1:]
 	}
 	return off, nil
+}
+
+// DedupJournal scans a JSONL journal with ScanJournal, decoding each
+// complete line into a (key, value) pair and keeping the last value per
+// key. This is the fingerprint-dedup discipline every journal consumer
+// shares — the checkpoint's completed-run set, the telemetry sidecar's
+// recorded-run set, and the result store's fingerprint index: a journal
+// may legitimately carry several lines for one key (a resumed append, a
+// superseding store write) and the latest one wins. It returns the
+// dedup map alongside ScanJournal's end-of-last-complete-line offset; a
+// decode error aborts the scan with the map built so far discarded.
+func DedupJournal[V any](data []byte, decode func(n int, line []byte) (string, V, error)) (map[string]V, int64, error) {
+	out := map[string]V{}
+	valid, err := ScanJournal(data, func(n int, line []byte) error {
+		key, val, err := decode(n, line)
+		if err != nil {
+			return err
+		}
+		out[key] = val
+		return nil
+	})
+	if err != nil {
+		return nil, valid, err
+	}
+	return out, valid, nil
+}
+
+// TruncateTail drops a torn trailing line from an append-only journal
+// file: it truncates f at valid (the offset ScanJournal returned) and
+// seeks there, so the next append starts on a line boundary. Shared by
+// every journal writer that reopens a file a killed process may have
+// left mid-line.
+func TruncateTail(f *os.File, valid int64) error {
+	if err := f.Truncate(valid); err != nil {
+		return fmt.Errorf("resilience: truncating torn journal tail: %w", err)
+	}
+	if _, err := f.Seek(valid, io.SeekStart); err != nil {
+		return fmt.Errorf("resilience: seeking journal: %w", err)
+	}
+	return nil
 }

@@ -1,0 +1,505 @@
+// Package store is the persistent, content-addressed result cache of
+// the sweep service: completed run records keyed by their config
+// fingerprint (Config.Fingerprint), with the record's order-independent
+// obs.Digest stored alongside so every read re-verifies the bytes it
+// hands out.
+//
+// On disk a store is a directory of JSONL segment files
+// (seg-000001.jsonl, seg-000002.jsonl, ...), each line one Entry in the
+// smart/store/v1 schema. Segments are append-only and inherit the
+// torn-tail tolerance of the checkpoint journal (internal/resilience):
+// a process killed mid-append leaves a partial final line that the next
+// Open truncates away, and everything before it survives. Writes go to
+// the highest-numbered (active) segment, which rolls over at a size
+// threshold; an in-memory index maps each fingerprint to its latest
+// entry's byte range, so lookups are one ReadAt. Re-putting a
+// fingerprint appends a superseding entry (last write wins, exactly the
+// resilience.DedupJournal discipline); Compact rewrites the live
+// entries into a single fresh segment and deletes the garbage.
+//
+// Records are stored in canonical position: Batch and Index are
+// cleared, because the store is addressed by config content while a
+// record's position is context of the request that produced it. Readers
+// that replay a cached record into a manifest re-stamp the position
+// they need (core.RunWith does), which is what keeps a read-through
+// sweep's manifest digest identical to an uncached one.
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"sync"
+
+	"smart/internal/obs"
+	"smart/internal/order"
+	"smart/internal/resilience"
+)
+
+// Schema versions the segment-line layout. Decoders reject entries
+// whose schema they do not understand.
+const Schema = "smart/store/v1"
+
+// DefaultSegmentBytes is the roll-over threshold for the active
+// segment: large enough that a paper-sized sweep fits in one file,
+// small enough that compaction reclaims superseded entries in bounded
+// chunks.
+const DefaultSegmentBytes = 4 << 20
+
+// Entry is one line of a segment file: a completed run record, its
+// fingerprint key, and the content digest a reader re-verifies.
+type Entry struct {
+	Schema      string `json:"schema"`
+	Fingerprint string `json:"fingerprint"`
+	// Digest is obs.Digest of the single record — the ETag the sweep
+	// service serves, pinned at write time and recomputed on every read.
+	Digest string        `json:"digest"`
+	Record obs.RunRecord `json:"record"`
+}
+
+// loc is an index entry: where a fingerprint's latest record lives.
+type loc struct {
+	seg    int   // index into Store.segs
+	off    int64 // byte offset of the line
+	length int64 // line length, newline excluded
+	digest string
+}
+
+// Stats is a point-in-time summary of a store, served by the sweep
+// service's status endpoint.
+type Stats struct {
+	// Records is the number of live fingerprints; Segments the on-disk
+	// segment-file count; Bytes their total size.
+	Records  int   `json:"records"`
+	Segments int   `json:"segments"`
+	Bytes    int64 `json:"bytes"`
+	// Superseded counts on-disk entries shadowed by a later write for
+	// the same fingerprint — the garbage Compact reclaims.
+	Superseded int64 `json:"superseded"`
+}
+
+// Store is the persistent result cache. Safe for concurrent use: the
+// sweep service reads and writes it from many request handlers at once.
+type Store struct {
+	//smartlint:allow concurrency — the store serializes HTTP-driven readers and writers; nothing here is on the simulation cycle path
+	mu         sync.Mutex
+	dir        string
+	segs       []string // segment file names, ascending
+	active     *os.File // highest-numbered segment, open for append
+	activeSize int64
+	segBytes   int64
+	index      map[string]loc
+	superseded int64
+	closed     bool
+}
+
+// Open opens (creating if necessary) the store rooted at dir, scanning
+// every segment into the in-memory index. Each scanned entry is decoded
+// strictly and its digest re-verified, so a store that was tampered
+// with — as opposed to torn by a crash — fails to open. The active
+// segment's torn tail, if any, is truncated so appends start on a line
+// boundary.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating %s: %w", dir, err)
+	}
+	names, err := segmentNames(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		names = []string{segmentName(1)}
+		f, err := os.OpenFile(filepath.Join(dir, names[0]), os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("store: creating first segment: %w", err)
+		}
+		return &Store{dir: dir, segs: names, active: f, segBytes: DefaultSegmentBytes, index: map[string]loc{}}, nil
+	}
+	s := &Store{dir: dir, segs: names, segBytes: DefaultSegmentBytes, index: map[string]loc{}}
+	for i, name := range names {
+		if err := s.loadSegment(i, name); err != nil {
+			return nil, err
+		}
+	}
+	last := filepath.Join(dir, names[len(names)-1])
+	f, err := os.OpenFile(last, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: reopening active segment: %w", err)
+	}
+	// Drop the active segment's torn tail; sealed segments were only
+	// ever active in a previous life, so a torn tail there is dead data
+	// past their last complete line — already excluded by the scan.
+	if err := resilience.TruncateTail(f, s.activeSize); err != nil {
+		f.Close()
+		return nil, err
+	}
+	s.active = f
+	return s, nil
+}
+
+// loadSegment scans one segment file into the index. Each complete line
+// must decode as a schema-valid Entry whose digest matches its record —
+// mid-file corruption or tampering is an open error, a torn tail is
+// silently excluded (and, on the active segment, truncated by Open).
+func (s *Store) loadSegment(seg int, name string) error {
+	path := filepath.Join(s.dir, name)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("store: reading segment %s: %w", name, err)
+	}
+	var off int64
+	lines := 0
+	locs, valid, err := resilience.DedupJournal(data, func(n int, line []byte) (string, loc, error) {
+		e, err := decodeEntry(line)
+		if err != nil {
+			return "", loc{}, fmt.Errorf("store: segment %s line %d: %w", name, n, err)
+		}
+		l := loc{seg: seg, off: off, length: int64(len(line)), digest: e.Digest}
+		off += int64(len(line)) + 1
+		lines++
+		return e.Fingerprint, l, nil
+	})
+	if err != nil {
+		return err
+	}
+	// Lines DedupJournal collapsed within this segment are superseded
+	// entries too — garbage Compact will reclaim.
+	s.superseded += int64(lines - len(locs))
+	// Later segments supersede earlier ones; within one segment
+	// DedupJournal already kept the last line per fingerprint.
+	for _, fp := range order.Keys(locs) {
+		if _, ok := s.index[fp]; ok {
+			s.superseded++
+		}
+		s.index[fp] = locs[fp]
+	}
+	if seg == len(s.segs)-1 {
+		s.activeSize = valid
+	}
+	return nil
+}
+
+// decodeEntry strictly decodes one segment line and re-verifies its
+// content digest — the read-side half of the content-addressing
+// contract.
+func decodeEntry(line []byte) (Entry, error) {
+	dec := json.NewDecoder(bytes.NewReader(line))
+	dec.DisallowUnknownFields()
+	var e Entry
+	if err := dec.Decode(&e); err != nil {
+		return e, fmt.Errorf("corrupt entry: %w", err)
+	}
+	if e.Schema != Schema {
+		return e, fmt.Errorf("unknown schema %q (want %q)", e.Schema, Schema)
+	}
+	if e.Fingerprint == "" || e.Fingerprint != e.Record.Fingerprint {
+		return e, fmt.Errorf("entry key %q does not match its record fingerprint %q", e.Fingerprint, e.Record.Fingerprint)
+	}
+	if d := obs.Digest([]obs.RunRecord{e.Record}); d != e.Digest {
+		return e, fmt.Errorf("record %s fails digest verification: stored %s, recomputed %s", e.Fingerprint, e.Digest, d)
+	}
+	return e, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Len returns the number of live fingerprints on record.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.index)
+}
+
+// Stats returns a point-in-time summary.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{Records: len(s.index), Segments: len(s.segs), Superseded: s.superseded}
+	for i, name := range s.segs {
+		if i == len(s.segs)-1 {
+			st.Bytes += s.activeSize
+			continue
+		}
+		if fi, err := os.Stat(filepath.Join(s.dir, name)); err == nil {
+			st.Bytes += fi.Size()
+		}
+	}
+	return st
+}
+
+// Canonical returns rec in the position-free form the store persists:
+// Batch and Index cleared, schema stamped. The store is addressed by
+// config content; a record's position belongs to the request that
+// produced it, and readers re-stamp it on replay.
+func Canonical(rec obs.RunRecord) obs.RunRecord {
+	rec.Batch = ""
+	rec.Index = 0
+	if rec.Schema == "" {
+		rec.Schema = obs.RunSchema
+	}
+	return rec
+}
+
+// Put journals one completed run, canonicalized and flushed to the
+// active segment before returning, and indexes it. Failure records are
+// rejected — failures are cheap to re-attempt and must not be served
+// from cache. Re-putting a fingerprint whose stored content digest is
+// unchanged is a no-op; changed content appends a superseding entry.
+// Put returns the entry's content digest (the service's ETag).
+func (s *Store) Put(rec obs.RunRecord) (string, error) {
+	if rec.Failure != "" {
+		return "", fmt.Errorf("store: refusing to cache failure record %s (%s)", rec.Fingerprint, rec.Failure)
+	}
+	if rec.Fingerprint == "" {
+		return "", fmt.Errorf("store: record has no fingerprint")
+	}
+	rec = Canonical(rec)
+	digest := obs.Digest([]obs.RunRecord{rec})
+	line, err := json.Marshal(Entry{Schema: Schema, Fingerprint: rec.Fingerprint, Digest: digest, Record: rec})
+	if err != nil {
+		return "", fmt.Errorf("store: encoding entry %s: %w", rec.Fingerprint, err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return "", fmt.Errorf("store: %s is closed", s.dir)
+	}
+	if have, ok := s.index[rec.Fingerprint]; ok {
+		if have.digest == digest {
+			return digest, nil
+		}
+		s.superseded++
+	}
+	if s.activeSize > 0 && s.activeSize+int64(len(line))+1 > s.segBytes {
+		if err := s.rollSegment(); err != nil {
+			return "", err
+		}
+	}
+	if _, err := s.active.Write(append(line, '\n')); err != nil {
+		return "", fmt.Errorf("store: appending entry %s: %w", rec.Fingerprint, err)
+	}
+	s.index[rec.Fingerprint] = loc{seg: len(s.segs) - 1, off: s.activeSize, length: int64(len(line)), digest: digest}
+	s.activeSize += int64(len(line)) + 1
+	return digest, nil
+}
+
+// rollSegment seals the active segment and opens the next one. Called
+// with the lock held.
+func (s *Store) rollSegment() error {
+	if err := s.active.Sync(); err != nil {
+		return fmt.Errorf("store: syncing sealed segment: %w", err)
+	}
+	if err := s.active.Close(); err != nil {
+		return fmt.Errorf("store: sealing segment: %w", err)
+	}
+	name := segmentName(segmentNumber(s.segs[len(s.segs)-1]) + 1)
+	f, err := os.OpenFile(filepath.Join(s.dir, name), os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: opening segment %s: %w", name, err)
+	}
+	s.segs = append(s.segs, name)
+	s.active = f
+	s.activeSize = 0
+	return nil
+}
+
+// Get returns the stored record and content digest for a fingerprint.
+// The read is digest-verifying: the entry's bytes are re-read from the
+// segment file, strictly decoded, and the digest recomputed — a store
+// never serves content it cannot re-derive. Absent fingerprints return
+// ok == false with no error.
+func (s *Store) Get(fingerprint string) (rec obs.RunRecord, digest string, ok bool, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return rec, "", false, fmt.Errorf("store: %s is closed", s.dir)
+	}
+	l, found := s.index[fingerprint]
+	if !found {
+		return rec, "", false, nil
+	}
+	line := make([]byte, l.length)
+	if l.seg == len(s.segs)-1 {
+		_, err = s.active.ReadAt(line, l.off)
+	} else {
+		var f *os.File
+		f, err = os.Open(filepath.Join(s.dir, s.segs[l.seg]))
+		if err == nil {
+			_, err = f.ReadAt(line, l.off)
+			f.Close()
+		}
+	}
+	if err != nil {
+		return rec, "", false, fmt.Errorf("store: reading entry %s: %w", fingerprint, err)
+	}
+	e, err := decodeEntry(line)
+	if err != nil {
+		return rec, "", false, fmt.Errorf("store: entry %s: %w", fingerprint, err)
+	}
+	if e.Fingerprint != fingerprint {
+		return rec, "", false, fmt.Errorf("store: index for %s points at entry %s", fingerprint, e.Fingerprint)
+	}
+	return e.Record, e.Digest, true, nil
+}
+
+// Fingerprints returns the live fingerprints in sorted order.
+func (s *Store) Fingerprints() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return order.Keys(s.index)
+}
+
+// Compact rewrites the live entries — latest per fingerprint, in sorted
+// fingerprint order — into a single fresh segment and deletes the old
+// ones, reclaiming superseded entries. The new segment is written to a
+// temporary file and renamed into place before the old segments go, so
+// a crash mid-compaction leaves either the old store or the new one,
+// never neither.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store: %s is closed", s.dir)
+	}
+	name := segmentName(segmentNumber(s.segs[len(s.segs)-1]) + 1)
+	tmpPath := filepath.Join(s.dir, name+".tmp")
+	tmp, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: creating compaction segment: %w", err)
+	}
+	fps := order.Keys(s.index)
+	newIndex := make(map[string]loc, len(fps))
+	var off int64
+	for _, fp := range fps {
+		line, err := s.readLocked(fp)
+		if err == nil {
+			if _, werr := tmp.Write(append(line, '\n')); werr != nil {
+				err = werr
+			}
+		}
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmpPath)
+			return fmt.Errorf("store: compacting entry %s: %w", fp, err)
+		}
+		newIndex[fp] = loc{seg: 0, off: off, length: int64(len(line)), digest: s.index[fp].digest}
+		off += int64(len(line)) + 1
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return fmt.Errorf("store: syncing compaction segment: %w", err)
+	}
+	if err := os.Rename(tmpPath, filepath.Join(s.dir, name)); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return fmt.Errorf("store: publishing compaction segment: %w", err)
+	}
+	old := s.segs
+	if err := s.active.Close(); err != nil {
+		return fmt.Errorf("store: closing pre-compaction segment: %w", err)
+	}
+	s.segs = []string{name}
+	s.active = tmp
+	s.activeSize = off
+	s.index = newIndex
+	s.superseded = 0
+	if _, err := tmp.Seek(off, 0); err != nil {
+		return fmt.Errorf("store: seeking compacted segment: %w", err)
+	}
+	for _, n := range old {
+		if err := os.Remove(filepath.Join(s.dir, n)); err != nil {
+			return fmt.Errorf("store: removing compacted segment %s: %w", n, err)
+		}
+	}
+	return nil
+}
+
+// readLocked returns the raw line bytes of a fingerprint's entry.
+// Called with the lock held.
+func (s *Store) readLocked(fp string) ([]byte, error) {
+	l, ok := s.index[fp]
+	if !ok {
+		return nil, fmt.Errorf("not indexed")
+	}
+	line := make([]byte, l.length)
+	if l.seg == len(s.segs)-1 {
+		if _, err := s.active.ReadAt(line, l.off); err != nil {
+			return nil, err
+		}
+		return line, nil
+	}
+	f, err := os.Open(filepath.Join(s.dir, s.segs[l.seg]))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if _, err := f.ReadAt(line, l.off); err != nil {
+		return nil, err
+	}
+	return line, nil
+}
+
+// VerifyAll re-reads and digest-verifies every live entry, returning
+// the first failure. The crash-safety suite calls it after simulated
+// kills; operators can run it via `serve -verify`.
+func (s *Store) VerifyAll() error {
+	for _, fp := range s.Fingerprints() {
+		if _, _, _, err := s.Get(fp); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close syncs and closes the active segment. Idempotent.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	syncErr := s.active.Sync()
+	if err := s.active.Close(); err != nil {
+		return fmt.Errorf("store: closing active segment: %w", err)
+	}
+	if syncErr != nil {
+		return fmt.Errorf("store: syncing active segment: %w", syncErr)
+	}
+	return nil
+}
+
+// segmentName renders the fixed-width segment file name, which makes
+// lexicographic order equal numeric order.
+func segmentName(n int) string { return fmt.Sprintf("seg-%06d.jsonl", n) }
+
+// segmentNumber parses the number out of a segment file name.
+func segmentNumber(name string) int {
+	var n int
+	fmt.Sscanf(name, "seg-%06d.jsonl", &n)
+	return n
+}
+
+// segmentNames lists dir's segment files in ascending order.
+func segmentNames(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: listing %s: %w", dir, err)
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.Type().IsRegular() && len(name) == len("seg-000000.jsonl") &&
+			name[:4] == "seg-" && name[len(name)-6:] == ".jsonl" && segmentNumber(name) > 0 {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}

@@ -102,31 +102,27 @@ func OpenSidecar(path string, resume bool) (*Sidecar, error) {
 			f.Close()
 			return nil, fmt.Errorf("telemetry: reading sidecar %s: %w", path, err)
 		}
-		valid, err := resilience.ScanJournal(data, func(n int, line []byte) error {
+		seen, valid, err := resilience.DedupJournal(data, func(n int, line []byte) (string, bool, error) {
 			var rec struct {
 				Schema      string `json:"schema"`
 				Fingerprint string `json:"fingerprint"`
 			}
 			if err := json.Unmarshal(line, &rec); err != nil {
-				return fmt.Errorf("telemetry: sidecar %s line %d is corrupt: %w", path, n, err)
+				return "", false, fmt.Errorf("telemetry: sidecar %s line %d is corrupt: %w", path, n, err)
 			}
 			if rec.Schema != Schema {
-				return fmt.Errorf("telemetry: sidecar %s line %d has unknown schema %q (want %q)", path, n, rec.Schema, Schema)
+				return "", false, fmt.Errorf("telemetry: sidecar %s line %d has unknown schema %q (want %q)", path, n, rec.Schema, Schema)
 			}
-			s.seen[rec.Fingerprint] = true
-			return nil
+			return rec.Fingerprint, true, nil
 		})
 		if err != nil {
 			f.Close()
 			return nil, err
 		}
-		if err := f.Truncate(valid); err != nil {
+		s.seen = seen
+		if err := resilience.TruncateTail(f, valid); err != nil {
 			f.Close()
-			return nil, fmt.Errorf("telemetry: truncating torn sidecar tail: %w", err)
-		}
-		if _, err := f.Seek(valid, io.SeekStart); err != nil {
-			f.Close()
-			return nil, fmt.Errorf("telemetry: seeking sidecar: %w", err)
+			return nil, err
 		}
 	}
 	s.enc = json.NewEncoder(f)
